@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+The attack sweeps are expensive and feed several benchmarks (the figure
+they reproduce plus Table I), so they are computed once per session.
+Set ``RBFT_FULL=1`` for the paper's full request-size sweep and longer
+simulated windows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import attack_sweep, current_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def prime_sweep(scale):
+    # §III-A / §VI-A: Prime's experiments use 0.1 ms requests (1 ms heavy).
+    return attack_sweep("prime", scale=scale, exec_cost=1e-4)
+
+
+@pytest.fixture(scope="session")
+def aardvark_sweep(scale):
+    return attack_sweep("aardvark", scale=scale)
+
+
+@pytest.fixture(scope="session")
+def spinning_sweep(scale):
+    return attack_sweep("spinning", scale=scale)
+
+
+def run_once(benchmark, fn):
+    """Run a macro-benchmark exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

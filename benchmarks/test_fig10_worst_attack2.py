@@ -1,0 +1,64 @@
+"""Fig. 10: RBFT under worst-attack-2 (faulty master primary).
+
+Paper shape: the malicious master primary delays requests down to the
+limit ratio Δ while its accomplices degrade the backups; the maximum
+throughput loss stays below 3 % with f=1 and below 1 % with f=2.
+"""
+
+import os
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import attack_sweep, relative_throughput
+from repro.experiments.report import format_attack_rows
+
+
+def test_fig10a_worst_attack2_f1(benchmark, scale):
+    rows = run_once(
+        benchmark, lambda: attack_sweep("rbft", scale=scale, attack="rbft-worst2")
+    )
+
+    print()
+    print(
+        format_attack_rows(
+            "Fig. 10a: RBFT under worst-attack-2 (f=1)",
+            rows,
+            paper_note="loss below 3 %",
+        )
+    )
+    for row in rows:
+        assert row["static_pct"] > 88.0, row
+        assert row["dynamic_pct"] > 88.0, row
+
+
+def test_fig10b_worst_attack2_f2(benchmark, scale):
+    sizes = scale.sizes if os.environ.get("RBFT_FULL") else (8,)
+
+    def sweep():
+        rows = []
+        for size in sizes:
+            static_pct, _, _ = relative_throughput(
+                "rbft", size, dynamic=False, scale=scale, attack="rbft-worst2", f=2
+            )
+            dynamic_pct, _, _ = relative_throughput(
+                "rbft", size, dynamic=True, scale=scale, attack="rbft-worst2", f=2
+            )
+            rows.append(
+                {"size": size, "static_pct": static_pct, "dynamic_pct": dynamic_pct}
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+
+    print()
+    print(
+        format_attack_rows(
+            "Fig. 10b: RBFT under worst-attack-2 (f=2)",
+            rows,
+            paper_note="loss below 1 %",
+        )
+    )
+    for row in rows:
+        assert row["static_pct"] > 85.0, row
+        assert row["dynamic_pct"] > 85.0, row

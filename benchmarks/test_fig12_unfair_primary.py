@@ -1,0 +1,48 @@
+"""Fig. 12: an unfair master primary is caught by the latency monitor.
+
+Paper shape: with Λ = 1.5 ms, the primary serves both clients fairly for
+500 requests, then delays one client's requests (latency rises but stays
+under Λ), and at request ~1000 a single request exceeds Λ — the nodes
+vote a protocol instance change, the unfair primary is evicted, and both
+clients see identical latency again.
+"""
+
+import statistics
+
+from conftest import run_once
+
+from repro.experiments import unfair_primary_run
+
+
+def test_fig12_unfair_primary_evicted_by_lambda(benchmark, scale):
+    result = run_once(benchmark, lambda: unfair_primary_run(scale=scale))
+
+    series = result["series"]
+    attacked = series["client0"].values()
+    other = series["client1"].values()
+
+    def mean_ms(values, lo, hi):
+        segment = values[lo:hi]
+        return statistics.mean(segment) * 1e3 if segment else 0.0
+
+    print()
+    print("Fig. 12: per-request latency of the attacked client (ms)")
+    print("  phase 1 (fair)       : %.2f" % mean_ms(attacked, 100, 450))
+    print("  phase 2 (delayed)    : %.2f" % mean_ms(attacked, 600, 950))
+    print("  after instance change: %.2f" % mean_ms(attacked, 1060, None))
+    print("  other client phase 2 : %.2f" % mean_ms(other, 600, 950))
+    print("  instance change at t=%.3fs (Λ=%.1f ms)"
+          % (result["instance_change_at"] or -1, result["lambda_max"] * 1e3))
+
+    # Phase 2: the attacked client's latency rises; the other's does not
+    # rise anywhere near as much.
+    fair = mean_ms(attacked, 100, 450)
+    delayed = mean_ms(attacked, 600, 950)
+    assert delayed > fair + 0.3
+    assert mean_ms(other, 600, 950) < fair + 0.3
+
+    # The Λ violation triggers a protocol instance change...
+    assert result["instance_change_at"] is not None
+    assert result["instance_changes"] >= 1
+    # ...and afterwards the new (fair) primary restores the latency.
+    assert mean_ms(attacked, 1060, None) < fair + 0.3

@@ -1,0 +1,31 @@
+"""Fig. 2: Aardvark throughput under attack, relative to fault-free.
+
+Paper shape: robust under a static load (at least 76 % of fault-free),
+but a dynamic load lets the malicious primary ride the low historical
+expectations — down to 13 %.
+"""
+
+from conftest import run_once
+
+
+def test_fig2_aardvark_under_attack(benchmark, aardvark_sweep):
+    rows = run_once(benchmark, lambda: aardvark_sweep)
+
+    from repro.experiments.report import format_attack_rows
+
+    print()
+    print(
+        format_attack_rows(
+            "Fig. 2: Aardvark relative throughput under attack",
+            rows,
+            paper_note="static >= 76 %, dynamic down to 13 %",
+        )
+    )
+
+    for row in rows:
+        assert row["static_pct"] > 65.0, row
+    # The dynamic load is where Aardvark breaks.
+    worst_dynamic = min(row["dynamic_pct"] for row in rows)
+    assert worst_dynamic < 45.0
+    # Dynamic is strictly worse than static at the worst point.
+    assert worst_dynamic < min(row["static_pct"] for row in rows)

@@ -1,0 +1,31 @@
+"""Fig. 3: Spinning throughput under attack, relative to fault-free.
+
+Paper shape: the malicious primary delays its batch by just under
+S_timeout (40 ms) every time its turn comes around; throughput collapses
+to 1 % (static) / 4.5 % (dynamic) of fault-free.
+"""
+
+from conftest import run_once
+
+
+def test_fig3_spinning_under_attack(benchmark, spinning_sweep):
+    rows = run_once(benchmark, lambda: spinning_sweep)
+
+    from repro.experiments.report import format_attack_rows
+
+    print()
+    print(
+        format_attack_rows(
+            "Fig. 3: Spinning relative throughput under attack",
+            rows,
+            paper_note="collapses to 1 % (static) / 4.5 % (dynamic)",
+        )
+    )
+
+    for row in rows:
+        assert row["static_pct"] < 20.0, row
+    # Under the dynamic load the collapse shows wherever the spike
+    # exceeds the attacked system's residual capacity (at large request
+    # sizes our gentler large-payload spike stays under it — see
+    # EXPERIMENTS.md).
+    assert min(row["dynamic_pct"] for row in rows) < 25.0

@@ -1,0 +1,57 @@
+"""Fig. 7: latency vs throughput in the fault-free case (8 B and 4 kB).
+
+Paper shapes at 8 B (Fig. 7a):
+* Spinning has the highest peak throughput (MACs only, UDP multicast);
+* RBFT and Aardvark are close, with Aardvark paying for its regular
+  view changes;
+* Prime peaks far lower and its latency is an order of magnitude above
+  the others (signatures everywhere + periodic ordering);
+* the UDP variant of RBFT matches TCP's peak with lower latency.
+
+At 4 kB (Fig. 7b) RBFT peaks around 5 kreq/s in the paper; our substrate
+reproduces that figure closely (see EXPERIMENTS.md for the deviations on
+the other protocols at 4 kB).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import latency_throughput_curve
+from repro.experiments.report import format_curve
+
+VARIANTS = ("rbft", "rbft-udp", "prime", "aardvark", "spinning")
+
+
+@pytest.mark.parametrize("payload", [8, 4096])
+def test_fig7_latency_vs_throughput(benchmark, scale, payload):
+    def sweep():
+        return {
+            variant: latency_throughput_curve(variant, payload, scale=scale)
+            for variant in VARIANTS
+        }
+
+    curves = run_once(benchmark, sweep)
+
+    print()
+    for variant, rows in curves.items():
+        print(format_curve("Fig. 7 (%d B) — %s" % (payload, variant), rows))
+
+    peaks = {v: max(r["throughput"] for r in rows) for v, rows in curves.items()}
+    low_load_latency = {v: rows[0]["latency_ms"] for v, rows in curves.items()}
+
+    if payload == 8:
+        # Spinning provides the highest peak throughput (§VI-B).
+        assert peaks["spinning"] == max(peaks.values())
+        # Prime peaks far below RBFT/Aardvark/Spinning.
+        assert peaks["prime"] < 0.7 * peaks["rbft"]
+        # Paper: RBFT peak ~35 kreq/s on their testbed; same order here.
+        assert 15_000 < peaks["rbft"] < 60_000
+    else:
+        # Paper: RBFT peaks at ~5 kreq/s with 4 kB requests.
+        assert 3_000 < peaks["rbft"] < 9_000
+
+    # Prime's latency sits far above the others (§VI-B: an order of
+    # magnitude on their testbed; several-fold here).
+    assert low_load_latency["prime"] > 3 * low_load_latency["rbft"]
+    # The UDP variant has lower latency than TCP at low load (§VI-B).
+    assert low_load_latency["rbft-udp"] < low_load_latency["rbft"]

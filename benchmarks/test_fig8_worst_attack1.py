@@ -1,0 +1,66 @@
+"""Fig. 8: RBFT under worst-attack-1 (correct master primary).
+
+Paper shape: the throughput loss stays below 2.2 % with f=1 (null under
+the dynamic load) and below 0.4 % with f=2 — and crucially, no protocol
+instance change is triggered.
+"""
+
+import os
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import attack_sweep, relative_throughput
+from repro.experiments.report import format_attack_rows
+
+
+def test_fig8a_worst_attack1_f1(benchmark, scale):
+    rows = run_once(
+        benchmark, lambda: attack_sweep("rbft", scale=scale, attack="rbft-worst1")
+    )
+
+    print()
+    print(
+        format_attack_rows(
+            "Fig. 8a: RBFT under worst-attack-1 (f=1)",
+            rows,
+            paper_note="loss below 2.2 % static, null dynamic",
+        )
+    )
+
+    for row in rows:
+        assert row["static_pct"] > 90.0, row
+        assert row["dynamic_pct"] > 90.0, row
+
+
+def test_fig8b_worst_attack1_f2(benchmark, scale):
+    # f=2 doubles the cluster; the QUICK scale checks one size per load.
+    sizes = scale.sizes if os.environ.get("RBFT_FULL") else (8,)
+
+    def sweep():
+        rows = []
+        for size in sizes:
+            static_pct, _, _ = relative_throughput(
+                "rbft", size, dynamic=False, scale=scale, attack="rbft-worst1", f=2
+            )
+            dynamic_pct, _, _ = relative_throughput(
+                "rbft", size, dynamic=True, scale=scale, attack="rbft-worst1", f=2
+            )
+            rows.append(
+                {"size": size, "static_pct": static_pct, "dynamic_pct": dynamic_pct}
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+
+    print()
+    print(
+        format_attack_rows(
+            "Fig. 8b: RBFT under worst-attack-1 (f=2)",
+            rows,
+            paper_note="loss at most 0.4 %",
+        )
+    )
+    for row in rows:
+        assert row["static_pct"] > 88.0, row
+        assert row["dynamic_pct"] > 88.0, row

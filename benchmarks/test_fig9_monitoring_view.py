@@ -1,0 +1,36 @@
+"""Fig. 9: per-node monitored throughput under worst-attack-1.
+
+Paper shape (f=1, static load, 4 kB requests): every correct node
+measures the same throughput, and the master instance's throughput is
+within ~2 % of the backup instance's — which is why no instance change
+is triggered.  The faulty node's (arbitrary) values are omitted, as in
+the paper.
+"""
+
+from conftest import run_once
+
+from repro.experiments import monitoring_view
+from repro.experiments.report import format_monitoring_view
+
+
+def test_fig9_per_node_monitoring_under_worst_attack1(benchmark, scale):
+    view = run_once(benchmark, lambda: monitoring_view(1, payload=4096, scale=scale))
+
+    print()
+    print(
+        format_monitoring_view(
+            "Fig. 9: monitored throughput per node (worst-attack-1, 4 kB)", view
+        )
+    )
+
+    assert len(view) == 3  # 4 nodes minus the faulty one
+    rates = list(view.values())
+    # Every correct node measures (almost exactly) the same throughput.
+    for other in rates[1:]:
+        for a, b in zip(rates[0], other):
+            assert abs(a - b) / max(a, b) < 0.05
+    # Master and backup instances are close (paper: ~2 % apart).
+    for node_rates in rates:
+        master, backups = node_rates[0], node_rates[1:]
+        backup_mean = sum(backups) / len(backups)
+        assert abs(master - backup_mean) / backup_mean < 0.10

@@ -1,0 +1,27 @@
+"""Reproduction of "RBFT: Redundant Byzantine Fault Tolerance" (ICDCS 2013).
+
+The package is organised bottom-up:
+
+* :mod:`repro.sim` — discrete-event kernel (clock, cores, RNG);
+* :mod:`repro.net` — NICs, TCP/UDP channels, multicast, flooding;
+* :mod:`repro.crypto` — cost model and structural authentication tags;
+* :mod:`repro.common` — requests, quorums, batching, services, clusters;
+* :mod:`repro.protocols` — the PBFT ordering engine and the three robust
+  baselines (Prime, Aardvark, Spinning);
+* :mod:`repro.core` — RBFT itself;
+* :mod:`repro.clients`, :mod:`repro.faults`, :mod:`repro.metrics`,
+  :mod:`repro.experiments` — workloads, adversaries, instruments, and
+  one experiment runner per table/figure of the paper.
+
+Quickstart::
+
+    from repro.core import RBFTConfig
+    from repro.experiments import build_rbft
+
+    deployment = build_rbft(RBFTConfig(f=1), n_clients=3)
+    deployment.clients[0].send_request()
+    deployment.sim.run(until=0.5)
+"""
+
+__version__ = "1.0.0"
+__all__ = ["__version__"]

@@ -1,0 +1,14 @@
+"""Open-loop clients and workload generation."""
+
+from .closedloop import ClosedLoopClient
+from .openloop import OpenLoopClient
+from .workloads import LoadGenerator, RateProfile, dynamic_profile, static_profile
+
+__all__ = [
+    "ClosedLoopClient",
+    "OpenLoopClient",
+    "LoadGenerator",
+    "RateProfile",
+    "dynamic_profile",
+    "static_profile",
+]

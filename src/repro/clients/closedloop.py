@@ -1,0 +1,70 @@
+"""Closed-loop clients — the regime RBFT explicitly does *not* target.
+
+§II: "We address in this paper the problem of robust BFT state machine
+replication in open-loop systems", and §I explains why: "in a closed
+loop system, the rate of incoming requests would be conditioned by the
+rate of the master instance.  Said differently, backup instances would
+never be faster than the master instance."
+
+This module implements that regime so the claim can be *demonstrated*:
+under a closed-loop load, a delaying master primary throttles the
+arrival process itself, the backup instances starve equally, the Δ ratio
+stays at 1, and the throughput monitoring is blind (see
+``tests/core/test_closed_loop.py`` and the ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.cluster import Cluster
+from repro.net.message import Message
+from repro.protocols.base import ReplyMsg
+
+from .openloop import OpenLoopClient
+
+__all__ = ["ClosedLoopClient"]
+
+
+class ClosedLoopClient(OpenLoopClient):
+    """Sends the next request only after the previous one completed.
+
+    ``think_time`` is the classic closed-loop pause between receiving a
+    reply and issuing the next request ([17] in the paper).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        name: str,
+        payload_size: int = 8,
+        think_time: float = 0.0,
+        send_kwargs: Optional[dict] = None,
+    ):
+        super().__init__(cluster, name, payload_size=payload_size)
+        self.think_time = think_time
+        self.send_kwargs = send_kwargs or {}
+        self._running = False
+
+    def start(self) -> None:
+        """Begin the request loop (stops with :meth:`stop`)."""
+        self._running = True
+        self._issue()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _issue(self) -> None:
+        if self._running:
+            self.send_request(**self.send_kwargs)
+
+    def _on_message(self, msg: Message) -> None:
+        completed_before = self.completed
+        super()._on_message(msg)
+        if not self._running or self.completed == completed_before:
+            return
+        if isinstance(msg, ReplyMsg):
+            if self.think_time > 0:
+                self.sim.call_after(self.think_time, self._issue)
+            else:
+                self._issue()

@@ -1,0 +1,169 @@
+"""Workload generation: static and dynamic loads (§VI-A).
+
+The paper uses two workloads:
+
+* **static** — the system is saturated; clients send at a constant rate;
+* **dynamic** — "the experiment starts with a single client.  We then
+  progressively increase the number of clients up to 10.  Then we
+  simulate a load spike, with 50 clients.  At last, the number of
+  clients progressively decreases, until there is only one client".
+
+We reproduce the dynamic shape as a piecewise client-count profile
+multiplied by a per-client request rate.  A single generator process
+produces the aggregate arrival stream, tagging arrivals with client
+identities round-robin over the active clients (so per-client fairness
+monitoring still sees individual clients).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.sim.engine import Simulator
+
+from .openloop import OpenLoopClient
+
+__all__ = [
+    "RateProfile",
+    "static_profile",
+    "dynamic_profile",
+    "LoadGenerator",
+]
+
+
+@dataclass(frozen=True)
+class RateProfile:
+    """A time-varying offered load."""
+
+    rate_fn: Callable[[float], float]  # time -> aggregate requests/second
+    active_fn: Callable[[float], int]  # time -> number of active clients
+    duration: float
+
+    def rate(self, t: float) -> float:
+        return max(0.0, self.rate_fn(t))
+
+    def active(self, t: float) -> int:
+        return max(1, self.active_fn(t))
+
+
+def static_profile(rate: float, duration: float, clients: int = 10) -> RateProfile:
+    """A saturating constant load."""
+    return RateProfile(lambda t: rate, lambda t: clients, duration)
+
+
+def dynamic_profile(
+    per_client_rate: float,
+    duration: float,
+    ramp_clients: int = 10,
+    spike_clients: int = 50,
+) -> RateProfile:
+    """The paper's spike workload, scaled to ``duration``.
+
+    Phases (fractions of the experiment): ramp 1→10 clients (30 %),
+    spike at 50 clients (20 %), ramp 10→1 clients (30 %), with plateaus
+    around the spike (20 % combined).
+    """
+
+    def clients_at(t: float) -> int:
+        x = t / duration
+        if x < 0.30:  # ramp up 1 -> ramp_clients
+            return 1 + int((ramp_clients - 1) * (x / 0.30))
+        if x < 0.40:  # plateau before the spike
+            return ramp_clients
+        if x < 0.60:  # load spike
+            return spike_clients
+        if x < 0.70:  # plateau after the spike
+            return ramp_clients
+        if x <= 1.0:  # ramp down ramp_clients -> 1
+            return max(1, ramp_clients - int((ramp_clients - 1) * ((x - 0.70) / 0.30)))
+        return 1
+
+    return RateProfile(
+        lambda t: clients_at(t) * per_client_rate,
+        clients_at,
+        duration,
+    )
+
+
+class LoadGenerator:
+    """Drives a pool of open-loop clients according to a profile."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clients: Sequence[OpenLoopClient],
+        profile: RateProfile,
+        rng,
+        poisson: bool = True,
+        send_kwargs: Optional[dict] = None,
+    ):
+        if not clients:
+            raise ValueError("need at least one client")
+        self.sim = sim
+        self.clients = list(clients)
+        self.profile = profile
+        self.rng = rng
+        self.poisson = poisson
+        self.send_kwargs = send_kwargs or {}
+        self._round_robin = 0
+        self.generated = 0
+        self._process = None
+
+    def start(self):
+        self._process = self.sim.process(self._run(), name="load-generator")
+        return self._process
+
+    def _run(self):
+        start = self.sim.now
+        end = start + self.profile.duration
+        while self.sim.now < end:
+            t = self.sim.now - start
+            rate = self.profile.rate(t)
+            if rate <= 0:
+                yield self.sim.timeout(1e-3)
+                continue
+            if self.poisson:
+                gap = self.rng.expovariate(rate)
+            else:
+                gap = 1.0 / rate
+            if self.sim.now + gap >= end:
+                break
+            yield self.sim.timeout(gap)
+            self._fire(self.sim.now - start)
+
+    def _fire(self, t: float) -> None:
+        active = min(self.profile.active(t), len(self.clients))
+        client = self.clients[self._round_robin % active]
+        self._round_robin += 1
+        client.send_request(**self.send_kwargs)
+        self.generated += 1
+
+    # ----------------------------------------------------------- aggregates
+    def total_completed(self) -> int:
+        return sum(client.completed for client in self.clients)
+
+    def total_sent(self) -> int:
+        return sum(client.sent for client in self.clients)
+
+    def mean_latency(self) -> float:
+        samples: List[float] = []
+        for client in self.clients:
+            samples.extend(client.latencies.samples)
+        return sum(samples) / len(samples) if samples else 0.0
+
+    def latency_percentile(self, p: float) -> float:
+        samples: List[float] = []
+        for client in self.clients:
+            samples.extend(client.latencies.samples)
+        if not samples:
+            return 0.0
+        ordered = sorted(samples)
+        rank = (len(ordered) - 1) * p
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac

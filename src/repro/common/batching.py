@@ -1,0 +1,102 @@
+"""Request batching.
+
+Primaries batch requests into one ordering round (PBFT and all its
+descendants do).  A batch closes when it reaches ``max_size`` requests
+or when ``max_delay`` elapses since its first request — whichever comes
+first.  The Spinning protocol additionally rotates the primary after
+every batch, so its effective batch cadence drives the attack arithmetic
+of §III-C.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, List, Optional, TypeVar
+
+from repro.sim.engine import Handle, Simulator
+
+__all__ = ["Batcher"]
+
+T = TypeVar("T")
+
+
+class Batcher(Generic[T]):
+    """Accumulates items and flushes them as batches.
+
+    ``on_flush`` receives the list of items.  ``pause``/``resume`` let a
+    protocol hold batches during view changes; a malicious primary delays
+    simply by not being asked to flush (the attack code wraps
+    ``on_flush``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        max_size: int,
+        max_delay: float,
+        on_flush: Callable[[List[T]], None],
+    ):
+        if max_size < 1:
+            raise ValueError("max_size must be at least 1")
+        if max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        self.sim = sim
+        self.max_size = max_size
+        self.max_delay = max_delay
+        self.on_flush = on_flush
+        self._pending: List[T] = []
+        self._timer: Optional[Handle] = None
+        self._paused = False
+        self.flushed_batches = 0
+        self.flushed_items = 0
+
+    def add(self, item: T) -> None:
+        self._pending.append(item)
+        if self._paused:
+            return
+        if len(self._pending) >= self.max_size:
+            self.flush()
+        elif self._timer is None or not self._timer.active:
+            self._timer = self.sim.call_after(self.max_delay, self._timer_fired)
+
+    def _timer_fired(self) -> None:
+        if not self._paused and self._pending:
+            self.flush()
+
+    def flush(self) -> None:
+        """Emit everything pending as one batch (no-op when empty)."""
+        if not self._pending:
+            return
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch, self._pending = self._pending, []
+        self.flushed_batches += 1
+        self.flushed_items += len(batch)
+        self.on_flush(batch)
+
+    def pause(self) -> None:
+        """Stop flushing (view change in progress); items keep queueing."""
+        self._paused = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def resume(self) -> None:
+        """Allow flushing again and drain any backlog.
+
+        The flush callback may re-pause the batcher (a rotating primary
+        emits one batch per leadership turn); the drain loop honours that.
+        """
+        self._paused = False
+        while not self._paused and len(self._pending) >= self.max_size:
+            batch = self._pending[: self.max_size]
+            del self._pending[: self.max_size]
+            self.flushed_batches += 1
+            self.flushed_items += len(batch)
+            self.on_flush(batch)
+        if self._pending and not self._paused:
+            self._timer = self.sim.call_after(self.max_delay, self._timer_fired)
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,217 @@
+"""Physical cluster wiring: machines, NICs, channels, client ports.
+
+This mirrors the paper's testbed (§V, §VI-A): ``n = 3f + 1`` machines,
+each with eight cores and — when ``separate_nics`` is on, as in Aardvark
+and RBFT — one NIC per other node plus one NIC for all client traffic.
+Protocols attach an actor to each machine by setting its handler; load
+generators attach :class:`ClientPort` objects.
+
+Every protocol harness in :mod:`repro.protocols` and :mod:`repro.core`
+builds on this module, so the fault-free and under-attack runs of all
+four protocols share identical hardware assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.net.message import Message
+from repro.net.network import GIGABIT_BPS, LAN, Channel, LinkProfile, Network
+from repro.net.nic import NIC
+from repro.sim.engine import Simulator
+from repro.sim.resources import CoreSet
+from repro.sim.rng import RngTree
+
+__all__ = ["ClusterConfig", "Machine", "ClientPort", "Cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Hardware and transport parameters of a deployment."""
+
+    f: int = 1
+    cores_per_node: int = 8
+    nic_bandwidth: float = GIGABIT_BPS
+    link: LinkProfile = LAN
+    tcp: bool = True
+    separate_nics: bool = True
+    seed: int = 0
+
+    @property
+    def n(self) -> int:
+        """Number of nodes: 3f + 1, the lower bound (§II)."""
+        return 3 * self.f + 1
+
+    def with_(self, **changes) -> "ClusterConfig":
+        return replace(self, **changes)
+
+
+class Machine:
+    """One physical node: cores plus its NICs.
+
+    The protocol stack running on the machine registers a single
+    ``handler``; the cluster routes every delivered message through it.
+    """
+
+    def __init__(self, cluster: "Cluster", index: int):
+        config = cluster.config
+        self.cluster = cluster
+        self.index = index
+        self.name = "node%d" % index
+        sim = cluster.sim
+        self.cores = CoreSet(sim, config.cores_per_node, self.name)
+        self.client_nic = NIC(sim, self.name + "/nic-clients", config.nic_bandwidth)
+        self.peer_nics: Dict[str, NIC] = {}
+        self._shared_nic: Optional[NIC] = None
+        if not config.separate_nics:
+            self._shared_nic = NIC(
+                sim, self.name + "/nic-shared", config.nic_bandwidth
+            )
+            self.client_nic = self._shared_nic
+        self.handler: Optional[Callable[[Message], None]] = None
+        self.dropped_unrouted = 0
+        self.channels_to_nodes: Dict[str, Channel] = {}
+        self.channels_to_clients: Dict[str, Channel] = {}
+
+    def nic_for_peer(self, peer: str) -> NIC:
+        if self._shared_nic is not None:
+            return self._shared_nic
+        nic = self.peer_nics.get(peer)
+        if nic is None:
+            nic = NIC(
+                self.cluster.sim,
+                "%s/nic-%s" % (self.name, peer),
+                self.cluster.config.nic_bandwidth,
+            )
+            self.peer_nics[peer] = nic
+        return nic
+
+    # ------------------------------------------------------------- messaging
+    def deliver(self, msg: Message) -> None:
+        if self.handler is None:
+            self.dropped_unrouted += 1
+        else:
+            self.handler(msg)
+
+    def send_to_node(self, dst: str, msg: Message) -> None:
+        self.channels_to_nodes[dst].send(msg)
+
+    def broadcast_to_nodes(self, msg: Message) -> None:
+        """Send ``msg`` to every *other* node.
+
+        With a shared NIC under UDP this is a true multicast (one
+        transmission); with separate per-peer NICs the copies go out in
+        parallel on independent links.
+        """
+        channels = self.channels_to_nodes.values()
+        if self._shared_nic is not None and not self.cluster.config.tcp:
+            Network.multicast(list(channels), msg)
+        else:
+            for channel in channels:
+                channel.send(msg)
+
+    def send_to_client(self, client: str, msg: Message) -> None:
+        self.channels_to_clients[client].send(msg)
+
+    def __repr__(self) -> str:
+        return "Machine(%s)" % self.name
+
+
+class ClientPort:
+    """A client's attachment point: one NIC plus channels to every node."""
+
+    def __init__(self, cluster: "Cluster", name: str):
+        self.cluster = cluster
+        self.name = name
+        self.nic = NIC(cluster.sim, name + "/nic", cluster.config.nic_bandwidth)
+        self.handler: Optional[Callable[[Message], None]] = None
+        self.channels_to_nodes: Dict[str, Channel] = {}
+        self.dropped_unrouted = 0
+
+    def deliver(self, msg: Message) -> None:
+        if self.handler is None:
+            self.dropped_unrouted += 1
+        else:
+            self.handler(msg)
+
+    def send_to_node(self, dst: str, msg: Message) -> None:
+        self.channels_to_nodes[dst].send(msg)
+
+    def broadcast(self, msg: Message) -> None:
+        """Send to every node (single multicast transmission under UDP)."""
+        channels = list(self.channels_to_nodes.values())
+        if not self.cluster.config.tcp:
+            Network.multicast(channels, msg)
+        else:
+            for channel in channels:
+                channel.send(msg)
+
+
+class Cluster:
+    """n machines plus any number of client ports, fully wired."""
+
+    def __init__(self, sim: Simulator, config: ClusterConfig = ClusterConfig()):
+        self.sim = sim
+        self.config = config
+        self.rng = RngTree(config.seed)
+        self.network = Network(sim, self.rng.stream("network"))
+        self.machines: List[Machine] = [Machine(self, i) for i in range(config.n)]
+        self.clients: Dict[str, ClientPort] = {}
+        for src in self.machines:
+            for dst in self.machines:
+                if src is dst:
+                    continue
+                channel = self.network.connect(
+                    src.name,
+                    dst.name,
+                    src.nic_for_peer(dst.name),
+                    dst.nic_for_peer(src.name),
+                    dst.deliver,
+                    profile=config.link,
+                    tcp=config.tcp,
+                )
+                src.channels_to_nodes[dst.name] = channel
+
+    # --------------------------------------------------------------- helpers
+    @property
+    def f(self) -> int:
+        return self.config.f
+
+    @property
+    def n(self) -> int:
+        return self.config.n
+
+    def machine(self, name: str) -> Machine:
+        return self.machines[int(name.replace("node", ""))]
+
+    def node_names(self) -> List[str]:
+        return [machine.name for machine in self.machines]
+
+    def add_client(self, name: str) -> ClientPort:
+        if name in self.clients:
+            raise ValueError("client %r already attached" % name)
+        port = ClientPort(self, name)
+        for machine in self.machines:
+            up = self.network.connect(
+                name,
+                machine.name,
+                port.nic,
+                machine.client_nic,
+                machine.deliver,
+                profile=self.config.link,
+                tcp=self.config.tcp,
+            )
+            port.channels_to_nodes[machine.name] = up
+            down = self.network.connect(
+                machine.name,
+                name,
+                machine.client_nic,
+                port.nic,
+                port.deliver,
+                profile=self.config.link,
+                tcp=self.config.tcp,
+            )
+            machine.channels_to_clients[name] = down
+        self.clients[name] = port
+        return port

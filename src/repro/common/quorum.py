@@ -1,0 +1,70 @@
+"""Quorum collection.
+
+Every phase of every protocol here is "collect k matching messages from
+distinct senders, then act once":  2f PREPAREs, 2f+1 COMMITs, f+1
+PROPAGATEs, 2f+1 INSTANCE-CHANGEs, f+1 matching replies at the client.
+:class:`QuorumTracker` implements exactly that pattern, keyed by an
+arbitrary hashable (sequence number, digest, whatever the phase matches
+on), counting each sender once, and reporting the threshold crossing
+exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Set
+
+__all__ = ["QuorumTracker", "quorum_size", "weak_quorum_size"]
+
+
+def quorum_size(f: int) -> int:
+    """2f + 1: a majority of correct nodes among 3f + 1."""
+    return 2 * f + 1
+
+
+def weak_quorum_size(f: int) -> int:
+    """f + 1: at least one correct node."""
+    return f + 1
+
+
+class QuorumTracker:
+    """Counts distinct senders per key; fires once per key at threshold."""
+
+    def __init__(self, threshold: int):
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        self.threshold = threshold
+        self._senders: Dict[Hashable, Set[str]] = {}
+        self._complete: Set[Hashable] = set()
+
+    def add(self, key: Hashable, sender: str) -> bool:
+        """Record a vote.  Return True iff this vote *completes* the quorum.
+
+        Duplicate votes from the same sender are ignored; votes arriving
+        after completion return False (the action already fired).
+        """
+        if key in self._complete:
+            return False
+        senders = self._senders.setdefault(key, set())
+        if sender in senders:
+            return False
+        senders.add(sender)
+        if len(senders) >= self.threshold:
+            self._complete.add(key)
+            return True
+        return False
+
+    def count(self, key: Hashable) -> int:
+        if key in self._complete:
+            return self.threshold
+        return len(self._senders.get(key, ()))
+
+    def complete(self, key: Hashable) -> bool:
+        return key in self._complete
+
+    def discard(self, key: Hashable) -> None:
+        """Forget a key entirely (e.g. after checkpoint garbage collection)."""
+        self._senders.pop(key, None)
+        self._complete.discard(key)
+
+    def __len__(self) -> int:
+        return len(self._senders) + len(self._complete)

@@ -1,0 +1,86 @@
+"""Replicated services (the application on top of the BFT protocols).
+
+The paper evaluates a null service whose requests take on the order of
+0.1 ms to execute (1 ms for the "heavy" requests of the Prime attack,
+§III-A).  We provide that null service plus a small key-value store so
+examples can replicate something observable.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .types import Request
+
+__all__ = ["Service", "NullService", "KeyValueService"]
+
+
+class Service:
+    """Interface of a deterministic replicated service."""
+
+    #: default CPU seconds to execute one request (overridable per request).
+    default_exec_cost: float = 20e-6
+
+    def exec_cost(self, request: Request) -> float:
+        """CPU time executing ``request`` costs (heavy requests cost more)."""
+        if request.exec_cost is not None:
+            return request.exec_cost
+        return self.default_exec_cost
+
+    def apply(self, request: Request) -> Tuple[object, int]:
+        """Execute the operation; return (result, result wire size)."""
+        raise NotImplementedError
+
+
+class NullService(Service):
+    """Executes nothing; replies with a constant-size acknowledgement."""
+
+    def __init__(self, exec_cost: float = 20e-6, result_size: int = 8):
+        self.default_exec_cost = exec_cost
+        self.result_size = result_size
+        self.executed = 0
+
+    def apply(self, request: Request) -> Tuple[object, int]:
+        self.executed += 1
+        return ("ok", self.result_size)
+
+
+class KeyValueService(Service):
+    """A deterministic key-value store.
+
+    Operations are encoded in the request's structural payload via the
+    ``op`` attribute convention: clients put ``("get", key)`` or
+    ``("put", key, value)`` tuples in :attr:`Request.exec_cost`-free
+    metadata.  Since requests are virtual, the example applications pass
+    operations through :meth:`submit_op` instead.
+    """
+
+    def __init__(self, exec_cost: float = 20e-6):
+        self.default_exec_cost = exec_cost
+        self.store = {}
+        self.executed = 0
+        self._ops = {}
+
+    def register_op(self, request_id, op) -> None:
+        """Associate a concrete operation with a request id."""
+        self._ops[request_id] = op
+
+    def apply(self, request: Request) -> Tuple[object, int]:
+        self.executed += 1
+        op = self._ops.pop(request.request_id, None)
+        if op is None:
+            return ("ok", 8)
+        action = op[0]
+        if action == "put":
+            _, key, value = op
+            self.store[key] = value
+            return ("stored", 8)
+        if action == "get":
+            _, key = op
+            value = self.store.get(key)
+            return (value, 8 if value is None else len(str(value)))
+        if action == "delete":
+            _, key = op
+            existed = self.store.pop(key, None) is not None
+            return (existed, 8)
+        raise ValueError("unknown operation %r" % (action,))

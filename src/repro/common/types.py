@@ -1,0 +1,89 @@
+"""Request and reply types shared by every protocol.
+
+A client request (§IV-B step 1) carries the operation, a request id, the
+client id, a **signature** (for non-repudiation when nodes forward it)
+and a **MAC authenticator** (cheap first-line check).  Replicas order
+either the full request or just its *identifier* — client id, request id
+and digest — which is RBFT's optimisation (§IV-B step 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.costmodel import (
+    DIGEST_SIZE,
+    MAC_SIZE,
+    MESSAGE_HEADER_SIZE,
+    SIGNATURE_SIZE,
+)
+from repro.crypto.primitives import Digest, MacAuthenticator, Signature
+
+__all__ = ["RequestId", "Request", "RequestIdentifier", "Reply"]
+
+#: (client id, per-client sequence number) — globally unique.
+RequestId = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class Request:
+    """A client request as it travels on the wire."""
+
+    client: str
+    rid: int
+    payload_size: int  # bytes of operation payload (8 B – 4 kB in §VI)
+    signature: Signature
+    authenticator: MacAuthenticator
+    exec_cost: Optional[float] = None  # overrides the service's default
+    sent_at: float = 0.0  # client-side send timestamp (virtual time)
+
+    @property
+    def request_id(self) -> RequestId:
+        return (self.client, self.rid)
+
+    def digest(self) -> Digest:
+        return Digest(("req", self.client, self.rid))
+
+    def identifier(self) -> "RequestIdentifier":
+        return RequestIdentifier(self.client, self.rid, self.digest())
+
+    def wire_size(self) -> int:
+        """Bytes on the wire: header + payload + signature + MAC array."""
+        return (
+            MESSAGE_HEADER_SIZE
+            + self.payload_size
+            + SIGNATURE_SIZE
+            + 4 * MAC_SIZE  # authenticator sized for the f=1 common case
+        )
+
+
+@dataclass(frozen=True)
+class RequestIdentifier:
+    """What RBFT instances actually order: (client, rid, digest)."""
+
+    client: str
+    rid: int
+    digest: Digest
+
+    @property
+    def request_id(self) -> RequestId:
+        return (self.client, self.rid)
+
+    #: wire footprint of one identifier inside an ordering message.
+    WIRE_SIZE = 16 + DIGEST_SIZE
+
+
+@dataclass(frozen=True)
+class Reply:
+    """The result of executing a request, sent node → client (step 6)."""
+
+    node: str
+    client: str
+    rid: int
+    result: object
+    result_size: int = 8
+
+    @property
+    def request_id(self) -> RequestId:
+        return (self.client, self.rid)

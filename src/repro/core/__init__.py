@@ -1,0 +1,16 @@
+"""RBFT: the paper's primary contribution (§IV, §V)."""
+
+from .config import RBFTConfig
+from .messages import FloodMsg, InstanceChangeMsg, PropagateMsg
+from .monitoring import InstanceMonitor
+from .node import InstanceTransport, RBFTNode
+
+__all__ = [
+    "RBFTConfig",
+    "RBFTNode",
+    "InstanceTransport",
+    "InstanceMonitor",
+    "FloodMsg",
+    "InstanceChangeMsg",
+    "PropagateMsg",
+]

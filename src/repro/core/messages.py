@@ -1,0 +1,72 @@
+"""RBFT-specific wire messages (§IV-B, §IV-D)."""
+
+from __future__ import annotations
+
+from repro.common.types import Request
+from repro.crypto.costmodel import MAC_SIZE, MESSAGE_HEADER_SIZE
+from repro.crypto.primitives import MacAuthenticator
+from repro.net.message import Message
+
+__all__ = ["PropagateMsg", "InstanceChangeMsg", "FloodMsg"]
+
+
+class PropagateMsg(Message):
+    """Step 2: a node forwards a verified client request to all nodes.
+
+    Carries the full request (body and client signature), so f+1
+    PROPAGATE messages guarantee every correct node can obtain it.
+    """
+
+    __slots__ = ("request", "authenticator")
+
+    def __init__(self, sender: str, request: Request, authenticator: MacAuthenticator):
+        super().__init__(sender)
+        self.request = request
+        self.authenticator = authenticator
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + self.request.wire_size() + 4 * MAC_SIZE
+
+
+class InstanceChangeMsg(Message):
+    """§IV-D: a node's vote to replace every primary at once.
+
+    ``preferred_master`` is used only in best-backup-promotion mode
+    (§IV-A future work): the 2f+1 matching votes must then also agree on
+    which instance becomes the new master.
+    """
+
+    __slots__ = ("cpi", "preferred_master", "authenticator")
+
+    def __init__(
+        self,
+        sender: str,
+        cpi: int,
+        authenticator: MacAuthenticator,
+        preferred_master: int = 0,
+    ):
+        super().__init__(sender)
+        self.cpi = cpi
+        self.preferred_master = preferred_master
+        self.authenticator = authenticator
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + 12 + 4 * MAC_SIZE
+
+
+class FloodMsg(Message):
+    """An invalid maximal-size message used by flooding attackers (§VI-C).
+
+    The receiver pays the bandwidth and a MAC verification before it can
+    discard it — unless it has already closed the sender's NIC (§V).
+    """
+
+    __slots__ = ("size", "authenticator")
+
+    def __init__(self, sender: str, size: int):
+        super().__init__(sender)
+        self.size = size
+        self.authenticator = MacAuthenticator.corrupt(sender)
+
+    def wire_size(self) -> int:
+        return self.size

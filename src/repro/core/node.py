@@ -1,0 +1,477 @@
+"""The RBFT node: f+1 protocol instances behind a module pipeline (§IV, §V).
+
+Architecture per Fig. 6 of the paper — each module is pinned to its own
+core, and each protocol-instance replica to another:
+
+* **Verification** authenticates client REQUESTs (MAC, then signature;
+  invalid signatures blacklist the client);
+* **Propagation** disseminates verified requests with PROPAGATE and
+  collects f+1 matching PROPAGATEs before releasing a request;
+* **Dispatch & Monitoring** hands request *identifiers* to the f+1 local
+  replicas, measures per-instance throughput and per-client latency, and
+  drives the instance-change protocol;
+* **Execution** applies requests ordered by the *master* instance and
+  replies to clients;
+* one :class:`~repro.protocols.pbft.engine.OrderingInstance` per
+  protocol instance, with primaries placed so at most one runs per node.
+
+Flooding defence (§V): messages that fail verification are counted per
+sender, and a peer exceeding the threshold has its NIC closed for a
+configurable period.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.common.cluster import Machine
+from repro.common.quorum import QuorumTracker, quorum_size, weak_quorum_size
+from repro.common.statemachine import Service
+from repro.common.types import Reply, Request
+from repro.crypto.blacklist import ClientBlacklist
+from repro.crypto.costmodel import MESSAGE_HEADER_SIZE
+from repro.crypto.primitives import Mac, MacAuthenticator
+from repro.net.message import Message
+from repro.protocols.base import ClientRequestMsg, ReplyMsg
+from repro.protocols.pbft.engine import OrderingInstance
+from repro.protocols.pbft.messages import OrderingMessage
+
+from .config import RBFTConfig
+from .messages import FloodMsg, InstanceChangeMsg, PropagateMsg
+from .monitoring import InstanceMonitor
+
+__all__ = ["RBFTNode", "InstanceTransport"]
+
+
+class InstanceTransport:
+    """Adapter between an ordering instance and the machine's NICs."""
+
+    __slots__ = ("machine",)
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+
+    def broadcast(self, msg: OrderingMessage) -> None:
+        self.machine.broadcast_to_nodes(msg)
+
+    def send(self, replica: str, msg: OrderingMessage) -> None:
+        self.machine.send_to_node(replica, msg)
+
+
+class RBFTNode:
+    """One physical machine of an RBFT deployment."""
+
+    def __init__(self, machine: Machine, config: RBFTConfig, service: Service):
+        self.machine = machine
+        self.config = config
+        self.costs = config.costs
+        self.service = service
+        self.name = machine.name
+        self.index = machine.index
+        self.sim = machine.cluster.sim
+        sim = self.sim
+
+        # Module cores (Fig. 6) -------------------------------------------
+        self.verification_core = machine.cores.allocate("verification")
+        self.propagation_core = machine.cores.allocate("propagation")
+        self.dispatch_core = machine.cores.allocate("dispatch")
+        self.execution_core = machine.cores.allocate("execution")
+
+        # f+1 protocol instances ------------------------------------------
+        self.engines: List[OrderingInstance] = []
+        instance_config = config.instance_config()
+        for k in range(config.instances):
+            core = machine.cores.allocate("replica-%d" % k)
+            engine = OrderingInstance(
+                sim,
+                core,
+                transport=InstanceTransport(machine),
+                config=instance_config,
+                costs=self.costs,
+                replica=self.name,
+                instance=k,
+                on_ordered=self._make_ordered_callback(k),
+                guard=self._propagation_guard,
+                primary_offset=k,
+            )
+            engine.on_invalid = self._note_invalid
+            self.engines.append(engine)
+
+        # Propagation state ------------------------------------------------
+        self.blacklist = ClientBlacklist()
+        self._propagated: set = set()
+        self._sig_inflight: set = set()  # dedup of queued signature checks
+        self._propagate_votes = QuorumTracker(weak_quorum_size(config.f))
+        self.request_store: Dict[Tuple[str, int], Request] = {}
+        self.ready_ids: set = set()
+        self._given_at: Dict[Tuple[str, int], float] = {}
+        self._ordered_by: Dict[Tuple[str, int], int] = {}
+
+        # Execution state ----------------------------------------------------
+        self.executed_ids: set = set()
+        self.reply_cache: Dict[str, Tuple[int, Reply]] = {}
+        self.executed_count = 0
+        self.invalid_requests = 0
+
+        # Monitoring & instance change (§IV-C, §IV-D) -----------------------
+        self.monitor = InstanceMonitor(sim, config, self._on_monitor_trigger)
+        self.master_instance = config.master
+        self.cpi = 0
+        self._voted_choice: Dict[int, int] = {}  # cpi -> preferred master
+        self._ic_votes = QuorumTracker(quorum_size(config.f))
+        self.instance_changes = 0
+        # Best-backup promotion (§IV-A future work) keeps each instance's
+        # delivery history so the new master's backlog can be replayed.
+        self._instance_history: Optional[List[List[Tuple]]] = (
+            [[] for _ in range(config.instances)]
+            if config.promote_best_backup
+            else None
+        )
+
+        # Flooding defence (§V) ----------------------------------------------
+        self._invalid_times: Dict[str, Deque[float]] = {}
+        self.nics_closed = 0
+
+        #: attack hook — a faulty node that "does not participate in the
+        #: PROPAGATE phase" (worst-attack-2) never emits PROPAGATEs.
+        self.propagate_silent = False
+
+        machine.handler = self.on_network_message
+        sim.call_after(config.monitoring_period, self._monitor_tick)
+
+    # ----------------------------------------------------------------- wiring
+    def _make_ordered_callback(self, instance: int):
+        def callback(seq: int, items: Tuple) -> None:
+            self._on_instance_ordered(instance, seq, items)
+
+        return callback
+
+    @property
+    def master_engine(self) -> OrderingInstance:
+        return self.engines[self.master_instance]
+
+    @property
+    def is_master_primary(self) -> bool:
+        return self.master_engine.is_primary
+
+    # ----------------------------------------------------------------- routing
+    def on_network_message(self, msg: Message) -> None:
+        if isinstance(msg, ClientRequestMsg):
+            self._receive_request(msg.request)
+        elif isinstance(msg, PropagateMsg):
+            # The MAC covers the request digest, so the Propagation module
+            # only checks the small header here.  For a first-sight request
+            # the full payload is hashed exactly once — on the Verification
+            # core, inside the signature check (the same hash serves both).
+            cost = self.costs.mac_verify(32) + self.config.rx_overhead
+            self.propagation_core.submit(cost, self._on_propagate, msg)
+        elif isinstance(msg, OrderingMessage):
+            if 0 <= msg.instance < len(self.engines):
+                self.engines[msg.instance].receive(msg)
+        elif isinstance(msg, InstanceChangeMsg):
+            cost = (
+                self.costs.authenticator_verify(msg.wire_size())
+                + self.config.rx_overhead
+            )
+            self.dispatch_core.submit(cost, self._on_instance_change, msg)
+        elif isinstance(msg, FloodMsg):
+            # Junk traffic: pay the MAC check, then count the sender.
+            cost = (
+                self.costs.authenticator_verify(msg.wire_size())
+                + self.config.rx_overhead
+            )
+            self.propagation_core.submit(cost, self._note_invalid, msg.sender)
+
+    # -------------------------------------------------- Verification module
+    def _receive_request(self, request: Request) -> None:
+        if self.blacklist.banned(request.client):
+            return
+        cost = (
+            self.costs.authenticator_verify(request.wire_size())
+            + self.config.rx_overhead
+        )
+        self.verification_core.submit(cost, self._after_request_mac, request)
+
+    def _after_request_mac(self, request: Request) -> None:
+        if not request.authenticator.valid_for(self.name):
+            self.invalid_requests += 1
+            return
+        if request.request_id in self.executed_ids:
+            self._resend_reply(request)
+            return
+        if request.request_id in self._propagated:
+            return  # already verified via a PROPAGATE
+        if request.request_id in self._sig_inflight:
+            return  # a signature check for this request is already queued
+        self._sig_inflight.add(request.request_id)
+        cost = self.costs.sig_verify(request.wire_size())
+        self.verification_core.submit(cost, self._after_request_signature, request)
+
+    def _after_request_signature(self, request: Request) -> None:
+        self._sig_inflight.discard(request.request_id)
+        if not request.signature.valid:
+            self.blacklist.ban(request.client)
+            self.invalid_requests += 1
+            return
+        self._start_propagation(request)
+
+    # --------------------------------------------------- Propagation module
+    def _start_propagation(self, request: Request) -> None:
+        request_id = request.request_id
+        if request_id in self._propagated:
+            return
+        self._propagated.add(request_id)
+        self.request_store.setdefault(request_id, request)
+        if self.propagate_silent:
+            self._register_propagate(request_id, self.name)
+        else:
+            # TCP point-to-point PROPAGATEs: one MAC pass per recipient.
+            msg = PropagateMsg(self.name, request, MacAuthenticator(self.name))
+            cost = (self.config.n - 1) * self.costs.mac_gen(msg.wire_size())
+            self.propagation_core.submit(cost, self._emit_propagate, msg)
+        # The quorum may already be complete if f+1 PROPAGATEs beat the
+        # signature check; the body is stored now, so dispatch can proceed.
+        if self._propagate_votes.complete(request_id):
+            self._maybe_dispatch(request_id)
+
+    def _emit_propagate(self, msg: PropagateMsg) -> None:
+        self.machine.broadcast_to_nodes(msg)
+        self._register_propagate(msg.request.request_id, self.name)
+
+    def _on_propagate(self, msg: PropagateMsg) -> None:
+        if not msg.authenticator.valid_for(self.name):
+            self._note_invalid(msg.sender)
+            return
+        request = msg.request
+        request_id = request.request_id
+        self._register_propagate(request_id, msg.sender)
+        if request_id in self._propagated or request_id in self.executed_ids:
+            return
+        # First sight of this request: the Verification module checks the
+        # client signature before this node echoes the PROPAGATE (§IV-B
+        # step 2); the in-flight set dedups against the direct client copy.
+        if request_id in self._sig_inflight:
+            return
+        self._sig_inflight.add(request_id)
+        cost = self.costs.sig_verify(request.wire_size())
+        self.verification_core.submit(cost, self._after_propagate_signature, msg)
+
+    def _after_propagate_signature(self, msg: PropagateMsg) -> None:
+        request = msg.request
+        self._sig_inflight.discard(request.request_id)
+        if not request.signature.valid:
+            return
+        self._start_propagation(request)
+
+    def _register_propagate(self, request_id, sender: str) -> None:
+        if self._propagate_votes.add(request_id, sender):
+            self._maybe_dispatch(request_id)
+
+    def _maybe_dispatch(self, request_id) -> None:
+        """Dispatch once f+1 PROPAGATEs *and* the request body are in."""
+        if request_id in self.ready_ids:
+            return
+        if request_id in self.request_store:
+            self.dispatch_core.submit(
+                self.config.rx_overhead, self._dispatch_ready, request_id
+            )
+
+    # ------------------------------------------- Dispatch & Monitoring module
+    def _dispatch_ready(self, request_id) -> None:
+        """f+1 PROPAGATEs collected: give the request to the replicas."""
+        if request_id in self.ready_ids:
+            return
+        request = self.request_store.get(request_id)
+        if request is None:
+            return
+        self.ready_ids.add(request_id)
+        self._given_at[request_id] = self.sim.now
+        if self.config.order_full_requests:
+            item = request  # ablation: instances carry whole requests
+        else:
+            item = request.identifier()
+        for engine in self.engines:
+            engine.submit(item)
+            engine.recheck_guards()
+
+    def _propagation_guard(self, items: Tuple) -> bool:
+        """A replica pre-prepares only requests backed by f+1 PROPAGATEs."""
+        return all(item.request_id in self.ready_ids for item in items)
+
+    def _on_instance_ordered(self, instance: int, seq: int, items: Tuple) -> None:
+        self.monitor.count_ordered(instance, len(items))
+        if self._instance_history is not None:
+            self._instance_history[instance].append(items)
+        now = self.sim.now
+        master = instance == self.master_instance
+        for item in items:
+            request_id = item.request_id
+            given = self._given_at.get(request_id)
+            if given is not None:
+                latency = now - given
+                self.monitor.record_latency(instance, item.client, latency)
+                if master:
+                    self.monitor.check_request_latency(item.client, latency)
+            seen = self._ordered_by.get(request_id, 0) + 1
+            if seen >= len(self.engines):
+                self._ordered_by.pop(request_id, None)
+                self._given_at.pop(request_id, None)
+            else:
+                self._ordered_by[request_id] = seen
+        if master:
+            self._execute_items(items)
+
+    def _monitor_tick(self) -> None:
+        self.sim.call_after(self.config.monitoring_period, self._monitor_tick)
+        self.monitor.tick()
+
+    # ------------------------------------------------------ Execution module
+    def _execute_items(self, items: Tuple) -> None:
+        for item in items:
+            request_id = item.request_id
+            if request_id in self.executed_ids:
+                continue
+            request = self.request_store.get(request_id)
+            if request is None:
+                continue  # unreachable: f+1 PROPAGATEs imply we hold it
+            self.executed_ids.add(request_id)
+            cost = self.service.exec_cost(request) + self.costs.mac_gen(
+                MESSAGE_HEADER_SIZE
+            )
+            self.execution_core.submit(cost, self._execute_one, request)
+
+    def _execute_one(self, request: Request) -> None:
+        result, result_size = self.service.apply(request)
+        self.executed_count += 1
+        reply = Reply(self.name, request.client, request.rid, result, result_size)
+        self.reply_cache[request.client] = (request.rid, reply)
+        self._send_reply(reply)
+        self.request_store.pop(request.request_id, None)
+
+    def _send_reply(self, reply: Reply) -> None:
+        channel = self.machine.channels_to_clients.get(reply.client)
+        if channel is not None:
+            channel.send(ReplyMsg(reply, Mac(self.name)))
+
+    def _resend_reply(self, request: Request) -> None:
+        cached = self.reply_cache.get(request.client)
+        if cached is not None and cached[0] == request.rid:
+            self._send_reply(cached[1])
+
+    # ------------------------------------------------ Instance change (§IV-D)
+    def _on_monitor_trigger(self, reason: str) -> None:
+        self.vote_instance_change(reason)
+
+    def _preferred_master(self) -> int:
+        """Best-backup promotion: pick the fastest instance we measured."""
+        if not self.config.promote_best_backup:
+            return self.master_instance
+        rates = self.monitor.last_rates
+        # Stability tie-break: keep the current master unless a backup is
+        # strictly faster.
+        best = max(
+            range(len(rates)),
+            key=lambda k: (rates[k], k == self.master_instance, -k),
+        )
+        return best if rates[best] > 0 else self.master_instance
+
+    def vote_instance_change(self, reason: str = "", choice: Optional[int] = None) -> None:
+        """Send INSTANCE-CHANGE for the current cpi.
+
+        One vote per round, except that a node adopts another choice of
+        new master once f+1 nodes (hence a correct one) back it — this is
+        how promotion votes converge when measurements differ slightly.
+        """
+        if choice is None:
+            choice = self._preferred_master()
+        if self._voted_choice.get(self.cpi) == choice:
+            return
+        if self.cpi in self._voted_choice and choice != self._voted_choice[self.cpi]:
+            # Re-vote only as an adoption of a better-supported choice.
+            if self._ic_votes.count((self.cpi, choice)) <= self.config.f:
+                return
+        self._voted_choice[self.cpi] = choice
+        msg = InstanceChangeMsg(
+            self.name, self.cpi, MacAuthenticator(self.name), preferred_master=choice
+        )
+        cost = self.costs.authenticator_gen(msg.wire_size(), self.config.n - 1)
+        self.dispatch_core.submit(cost, self.machine.broadcast_to_nodes, msg)
+        if self._ic_votes.add((self.cpi, choice), self.name):
+            self._perform_instance_change(self.cpi, choice)
+
+    def _on_instance_change(self, msg: InstanceChangeMsg) -> None:
+        if not msg.authenticator.valid_for(self.name):
+            self._note_invalid(msg.sender)
+            return
+        if msg.cpi < self.cpi:
+            return  # stale vote for a previous round (§IV-D)
+        key = (msg.cpi, msg.preferred_master)
+        completed = self._ic_votes.add(key, msg.sender)
+        if completed:
+            self._perform_instance_change(msg.cpi, msg.preferred_master)
+            return
+        # Join the vote only if this node also observes a violation, or
+        # f+1 others (hence at least one correct node) already voted.
+        support = self._ic_votes.count(key)
+        if msg.cpi not in self._voted_choice and (
+            self.monitor.observes_breach() or support > self.config.f
+        ):
+            choice = msg.preferred_master if support > self.config.f else None
+            self.vote_instance_change("join", choice=choice)
+        elif support > self.config.f and self._voted_choice.get(msg.cpi) != msg.preferred_master:
+            self.vote_instance_change("adopt", choice=msg.preferred_master)
+
+    def _perform_instance_change(self, cpi: int, new_master: int) -> None:
+        """2f+1 matching INSTANCE-CHANGEs: rotate every primary at once.
+
+        In promotion mode the agreed ``new_master`` instance takes over
+        execution; its delivery backlog is replayed so no request ordered
+        by the new master but not by the old one is lost.
+        """
+        if cpi < self.cpi:
+            return
+        self.cpi = cpi + 1
+        self.instance_changes += 1
+        if (
+            self.config.promote_best_backup
+            and new_master != self.master_instance
+            and 0 <= new_master < len(self.engines)
+        ):
+            self.master_instance = new_master
+            self.monitor.master = new_master
+            if self._instance_history is not None:
+                for items in self._instance_history[new_master]:
+                    self._execute_items(items)
+        self.monitor.reset_after_change()
+        for engine in self.engines:
+            engine.start_view_change(engine.view + 1)
+
+    # ------------------------------------------------- flooding defence (§V)
+    def _note_invalid(self, sender: str) -> None:
+        if not sender.startswith("node"):
+            return  # client floods arrive on the shared client NIC
+        nic = self.machine.peer_nics.get(sender)
+        if nic is None:
+            return
+        window = self._invalid_times.setdefault(sender, deque())
+        now = self.sim.now
+        window.append(now)
+        horizon = now - self.config.flood_window
+        while window and window[0] < horizon:
+            window.popleft()
+        if len(window) >= self.config.flood_threshold:
+            nic.close(self.config.nic_close_duration)
+            self.nics_closed += 1
+            window.clear()
+
+    # -------------------------------------------------------------- inspection
+    def backlog(self) -> int:
+        return self.master_engine.backlog()
+
+    def __repr__(self) -> str:
+        return "RBFTNode(%s, cpi=%d, executed=%d)" % (
+            self.name,
+            self.cpi,
+            self.executed_count,
+        )

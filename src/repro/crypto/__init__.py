@@ -1,0 +1,27 @@
+"""Virtual cryptography: cost model, tags, blacklists."""
+
+from .blacklist import BoundedBlacklist, ClientBlacklist
+from .costmodel import (
+    DEFAULT_COST_MODEL,
+    DIGEST_SIZE,
+    MAC_SIZE,
+    MESSAGE_HEADER_SIZE,
+    SIGNATURE_SIZE,
+    CryptoCostModel,
+)
+from .primitives import Digest, Mac, MacAuthenticator, Signature
+
+__all__ = [
+    "BoundedBlacklist",
+    "ClientBlacklist",
+    "CryptoCostModel",
+    "DEFAULT_COST_MODEL",
+    "DIGEST_SIZE",
+    "MAC_SIZE",
+    "MESSAGE_HEADER_SIZE",
+    "SIGNATURE_SIZE",
+    "Digest",
+    "Mac",
+    "MacAuthenticator",
+    "Signature",
+]

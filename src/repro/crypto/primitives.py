@@ -1,0 +1,83 @@
+"""Virtual cryptographic objects.
+
+Payloads in the simulator carry *sizes*, not bytes, so authentication
+tags are structural: each tag records who produced it and whether it is
+valid.  Verification in protocol code is then two separate things —
+
+* a **CPU charge** (from :class:`~repro.crypto.costmodel.CryptoCostModel`)
+  paid whether or not the tag is valid, which is what flooding attacks
+  with invalid messages exploit (§VI-C), and
+* a **boolean check** of the tag, which faulty senders can make fail for
+  selected verifiers (worst-attack-1 sends requests that *one* node
+  cannot verify).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Optional
+
+__all__ = ["Digest", "Mac", "MacAuthenticator", "Signature"]
+
+
+@dataclass(frozen=True)
+class Digest:
+    """A collision-resistant digest, modelled structurally.
+
+    Two digests are equal iff they were computed over the same token; the
+    Byzantine model forbids forging collisions (§II), so structural
+    equality is faithful.
+    """
+
+    token: Hashable
+
+    def __repr__(self) -> str:
+        return "Digest(%r)" % (self.token,)
+
+
+@dataclass(frozen=True)
+class Mac:
+    """A MAC from ``signer`` for a single recipient."""
+
+    signer: str
+    valid: bool = True
+
+
+@dataclass(frozen=True)
+class MacAuthenticator:
+    """An array of per-node MACs (one per recipient, §II).
+
+    ``invalid_for`` lists verifiers whose entry is corrupt.  A Byzantine
+    sender can corrupt any subset — e.g. make the entry valid for every
+    node except the one hosting the master primary (worst-attack-1).
+    ``None`` means valid for everyone (the common case, allocation-free).
+    """
+
+    signer: str
+    invalid_for: Optional[FrozenSet[str]] = None
+
+    def valid_for(self, verifier: str) -> bool:
+        if self.invalid_for is None:
+            return True
+        return "*" not in self.invalid_for and verifier not in self.invalid_for
+
+    @staticmethod
+    def corrupt(signer: str) -> "MacAuthenticator":
+        """An authenticator that verifies for nobody (flooding payloads)."""
+        return MacAuthenticator(signer=signer, invalid_for=frozenset({"*"}))
+
+    def valid_for_any(self) -> bool:
+        return self.invalid_for is None or "*" not in self.invalid_for
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A public-key signature by ``signer``.
+
+    Unlike MACs, a valid signature convinces *every* verifier — that is
+    the non-repudiation property RBFT needs for forwarded requests
+    (§IV-B, step 1).
+    """
+
+    signer: str
+    valid: bool = True

@@ -1,0 +1,53 @@
+"""Experiment harness: one runner per table/figure of the paper."""
+
+from .deployments import (
+    Deployment,
+    build_aardvark,
+    build_pbft,
+    build_prime,
+    build_rbft,
+    build_spinning,
+)
+from .runner import (
+    PROTOCOL_VARIANTS,
+    RunResult,
+    attack_sweep,
+    latency_throughput_curve,
+    make_deployment,
+    monitoring_view,
+    probe_capacity,
+    relative_throughput,
+    run_dynamic,
+    run_static,
+    table1,
+    unfair_primary_run,
+)
+from .scale import FULL, QUICK, ScenarioScale, current_scale
+from .stats import SweepResult, seed_sweep
+
+__all__ = [
+    "Deployment",
+    "build_aardvark",
+    "build_pbft",
+    "build_prime",
+    "build_rbft",
+    "build_spinning",
+    "PROTOCOL_VARIANTS",
+    "RunResult",
+    "attack_sweep",
+    "latency_throughput_curve",
+    "make_deployment",
+    "monitoring_view",
+    "probe_capacity",
+    "relative_throughput",
+    "run_dynamic",
+    "run_static",
+    "table1",
+    "unfair_primary_run",
+    "FULL",
+    "QUICK",
+    "ScenarioScale",
+    "current_scale",
+    "SweepResult",
+    "seed_sweep",
+]

@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.experiments <table1|fig1..fig12>``."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

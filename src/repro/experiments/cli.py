@@ -1,0 +1,182 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Examples::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig1
+    python -m repro.experiments fig7 --payload 4096
+    python -m repro.experiments fig8 --f 2
+    python -m repro.experiments fig12
+    RBFT_FULL=1 python -m repro.experiments fig2   # full-scale sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .report import (
+    format_attack_rows,
+    format_curve,
+    format_monitoring_view,
+    format_table1,
+)
+from .runner import (
+    attack_sweep,
+    latency_throughput_curve,
+    monitoring_view,
+    table1,
+    unfair_primary_run,
+)
+from .scale import current_scale
+
+__all__ = ["main"]
+
+
+def _cmd_table1(args) -> None:
+    print(format_table1(table1(scale=current_scale())))
+
+
+def _cmd_fig1(args) -> None:
+    rows = attack_sweep("prime", scale=current_scale(), exec_cost=1e-4)
+    print(format_attack_rows(
+        "Fig. 1: Prime relative throughput under attack", rows,
+        paper_note="drops to 22-40 % across sizes",
+    ))
+
+
+def _cmd_fig2(args) -> None:
+    rows = attack_sweep("aardvark", scale=current_scale())
+    print(format_attack_rows(
+        "Fig. 2: Aardvark relative throughput under attack", rows,
+        paper_note="static >= 76 %, dynamic down to 13 %",
+    ))
+
+
+def _cmd_fig3(args) -> None:
+    rows = attack_sweep("spinning", scale=current_scale())
+    print(format_attack_rows(
+        "Fig. 3: Spinning relative throughput under attack", rows,
+        paper_note="collapses to 1 % (static) / 4.5 % (dynamic)",
+    ))
+
+
+def _cmd_fig7(args) -> None:
+    from .ascii_chart import multi_scatter
+
+    series = {}
+    for variant in ("rbft", "rbft-udp", "prime", "aardvark", "spinning"):
+        rows = latency_throughput_curve(
+            variant, args.payload, scale=current_scale()
+        )
+        print(format_curve("Fig. 7 (%d B) — %s" % (args.payload, variant), rows))
+        print()
+        series[variant] = [
+            (row["throughput"] / 1e3, row["latency_ms"]) for row in rows
+        ]
+    print(multi_scatter(
+        series, x_label="throughput (kreq/s)", y_label="latency (ms)",
+    ))
+
+
+def _cmd_fig8(args) -> None:
+    rows = attack_sweep(
+        "rbft", scale=current_scale(), attack="rbft-worst1", f=args.f
+    )
+    print(format_attack_rows(
+        "Fig. 8: RBFT under worst-attack-1 (f=%d)" % args.f, rows,
+        paper_note="loss below 2.2 % (f=1) / 0.4 % (f=2)",
+    ))
+
+
+def _cmd_fig9(args) -> None:
+    view = monitoring_view(1, payload=args.payload, scale=current_scale())
+    print(format_monitoring_view(
+        "Fig. 9: monitored throughput per node (worst-attack-1)", view
+    ))
+
+
+def _cmd_fig10(args) -> None:
+    rows = attack_sweep(
+        "rbft", scale=current_scale(), attack="rbft-worst2", f=args.f
+    )
+    print(format_attack_rows(
+        "Fig. 10: RBFT under worst-attack-2 (f=%d)" % args.f, rows,
+        paper_note="loss below 3 % (f=1) / 1 % (f=2)",
+    ))
+
+
+def _cmd_fig11(args) -> None:
+    view = monitoring_view(2, payload=args.payload, scale=current_scale())
+    print(format_monitoring_view(
+        "Fig. 11: monitored throughput per node (worst-attack-2)", view
+    ))
+
+
+def _cmd_fig12(args) -> None:
+    result = unfair_primary_run(scale=current_scale())
+    attacked = result["series"]["client0"].values()
+    other = result["series"]["client1"].values()
+
+    def mean_ms(values, lo, hi):
+        segment = values[lo:hi]
+        return sum(segment) / len(segment) * 1e3 if segment else 0.0
+
+    print("Fig. 12: unfair primary vs the latency monitor (Λ = %.1f ms)"
+          % (result["lambda_max"] * 1e3))
+    print("  attacked client: fair %.2f ms -> delayed %.2f ms -> after "
+          "change %.2f ms"
+          % (mean_ms(attacked, 100, 450), mean_ms(attacked, 600, 950),
+             mean_ms(attacked, 1060, None)))
+    print("  other client stayed at %.2f ms" % mean_ms(other, 100, 950))
+    if result["instance_change_at"] is not None:
+        print("  protocol instance change at t=%.3f s"
+              % result["instance_change_at"])
+    from .ascii_chart import multi_scatter
+
+    print()
+    print(multi_scatter(
+        {
+            "attacked": list(enumerate(v * 1e3 for v in attacked)),
+            "other": list(enumerate(v * 1e3 for v in other)),
+        },
+        x_label="request number",
+        y_label="latency (ms)",
+    ))
+
+
+COMMANDS = {
+    "table1": (_cmd_table1, "Table I: baseline worst-case degradations"),
+    "fig1": (_cmd_fig1, "Prime under attack"),
+    "fig2": (_cmd_fig2, "Aardvark under attack"),
+    "fig3": (_cmd_fig3, "Spinning under attack"),
+    "fig7": (_cmd_fig7, "latency vs throughput, fault-free"),
+    "fig8": (_cmd_fig8, "RBFT under worst-attack-1"),
+    "fig9": (_cmd_fig9, "monitoring view, worst-attack-1"),
+    "fig10": (_cmd_fig10, "RBFT under worst-attack-2"),
+    "fig11": (_cmd_fig11, "monitoring view, worst-attack-2"),
+    "fig12": (_cmd_fig12, "unfair primary vs latency monitoring"),
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the tables and figures of the RBFT paper "
+        "(set RBFT_FULL=1 for the full-scale sweeps).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, (_, help_text) in COMMANDS.items():
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--payload", type=int, default=8 if name == "fig7" else 4096,
+                         help="request payload size in bytes")
+        cmd.add_argument("--f", type=int, default=1,
+                         help="number of tolerated faults")
+    args = parser.parse_args(argv)
+    COMMANDS[args.command][0](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

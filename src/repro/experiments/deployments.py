@@ -1,0 +1,160 @@
+"""Deployment builders: one call to stand up each protocol's cluster.
+
+These are the entry points both the test suite and the benchmark harness
+use, so every experiment runs against identically wired hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.clients import OpenLoopClient
+from repro.common import Cluster, ClusterConfig, NullService, Service
+from repro.core import RBFTConfig, RBFTNode
+from repro.net.network import LinkProfile
+from repro.protocols.aardvark import AardvarkConfig, AardvarkNode
+from repro.protocols.base import BftNode, NodeConfig
+from repro.protocols.prime import PrimeConfig, PrimeNode
+from repro.protocols.spinning import SpinningConfig, SpinningNode
+from repro.sim import RngTree, Simulator
+
+__all__ = [
+    "Deployment",
+    "build_rbft",
+    "build_aardvark",
+    "build_spinning",
+    "build_prime",
+    "build_pbft",
+]
+
+
+@dataclass
+class Deployment:
+    """A running cluster plus its client population."""
+
+    sim: Simulator
+    cluster: Cluster
+    nodes: list
+    clients: List[OpenLoopClient]
+    rng: RngTree
+
+    def node(self, index: int):
+        return self.nodes[index]
+
+    def total_executed(self) -> int:
+        """Executed requests as counted by node0 (a correct node)."""
+        return self.nodes[0].executed_count
+
+    def total_completed(self) -> int:
+        return sum(client.completed for client in self.clients)
+
+
+def _make_clients(cluster, count, payload):
+    return [
+        OpenLoopClient(cluster, "client%d" % i, payload_size=payload)
+        for i in range(count)
+    ]
+
+
+def build_rbft(
+    config: Optional[RBFTConfig] = None,
+    n_clients: int = 10,
+    payload: int = 8,
+    service_factory: Callable[[], Service] = NullService,
+    tcp: bool = True,
+    seed: int = 0,
+    link: Optional[LinkProfile] = None,
+) -> Deployment:
+    """An RBFT deployment (§V): 3f+1 machines, f+1 instances each."""
+    config = config or RBFTConfig()
+    sim = Simulator()
+    cluster_config = ClusterConfig(
+        f=config.f, seed=seed, tcp=tcp, cores_per_node=config.cores_per_machine
+    )
+    if link is not None:
+        cluster_config = cluster_config.with_(link=link)
+    cluster = Cluster(sim, cluster_config)
+    nodes = [
+        RBFTNode(machine, config, service_factory()) for machine in cluster.machines
+    ]
+    clients = _make_clients(cluster, n_clients, payload)
+    return Deployment(sim, cluster, nodes, clients, RngTree(seed))
+
+
+def build_aardvark(
+    config: Optional[AardvarkConfig] = None,
+    f: int = 1,
+    n_clients: int = 10,
+    payload: int = 8,
+    service_factory: Callable[[], Service] = NullService,
+    seed: int = 0,
+) -> Deployment:
+    config = config or AardvarkConfig()
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=config.instance.f, seed=seed))
+    nodes = [
+        AardvarkNode(machine, config, service_factory())
+        for machine in cluster.machines
+    ]
+    clients = _make_clients(cluster, n_clients, payload)
+    return Deployment(sim, cluster, nodes, clients, RngTree(seed))
+
+
+def build_spinning(
+    config: Optional[SpinningConfig] = None,
+    n_clients: int = 10,
+    payload: int = 8,
+    service_factory: Callable[[], Service] = NullService,
+    seed: int = 0,
+) -> Deployment:
+    """Spinning runs over UDP multicast on a shared NIC (§VI-B)."""
+    config = config or SpinningConfig()
+    sim = Simulator()
+    cluster = Cluster(
+        sim,
+        ClusterConfig(
+            f=config.instance.f, seed=seed, tcp=False, separate_nics=False
+        ),
+    )
+    nodes = [
+        SpinningNode(machine, config, service_factory())
+        for machine in cluster.machines
+    ]
+    clients = _make_clients(cluster, n_clients, payload)
+    return Deployment(sim, cluster, nodes, clients, RngTree(seed))
+
+
+def build_prime(
+    config: Optional[PrimeConfig] = None,
+    n_clients: int = 10,
+    payload: int = 8,
+    service_factory: Callable[[], Service] = NullService,
+    seed: int = 0,
+) -> Deployment:
+    config = config or PrimeConfig()
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=config.f, seed=seed))
+    nodes = [
+        PrimeNode(machine, config, service_factory()) for machine in cluster.machines
+    ]
+    clients = _make_clients(cluster, n_clients, payload)
+    return Deployment(sim, cluster, nodes, clients, RngTree(seed))
+
+
+def build_pbft(
+    config: Optional[NodeConfig] = None,
+    n_clients: int = 10,
+    payload: int = 8,
+    service_factory: Callable[[], Service] = NullService,
+    seed: int = 0,
+) -> Deployment:
+    """Plain PBFT — used by ablations, not by the paper's figures."""
+    config = config or NodeConfig()
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=config.f, seed=seed))
+    nodes = [
+        BftNode(machine, config, service_factory()) for machine in cluster.machines
+    ]
+    clients = _make_clients(cluster, n_clients, payload)
+    return Deployment(sim, cluster, nodes, clients, RngTree(seed))

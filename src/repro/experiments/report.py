@@ -1,0 +1,65 @@
+"""Formatting helpers: print experiment results the way the paper does."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = [
+    "format_attack_rows",
+    "format_curve",
+    "format_monitoring_view",
+    "format_table1",
+]
+
+
+def format_attack_rows(title: str, rows: List[dict], paper_note: str = "") -> str:
+    """Figs 1/2/3/8/10: relative throughput vs request size."""
+    lines = [title]
+    if paper_note:
+        lines.append("  (paper: %s)" % paper_note)
+    lines.append("  %10s  %18s  %18s" % ("size", "static load", "dynamic load"))
+    for row in rows:
+        lines.append(
+            "  %8d B  %16.1f %%  %16.1f %%"
+            % (row["size"], row["static_pct"], row["dynamic_pct"])
+        )
+    return "\n".join(lines)
+
+
+def format_curve(title: str, rows: List[dict]) -> str:
+    """Fig 7: latency vs throughput."""
+    lines = [title]
+    lines.append(
+        "  %14s  %14s  %12s" % ("offered (k/s)", "tput (kreq/s)", "latency (ms)")
+    )
+    for row in rows:
+        lines.append(
+            "  %14.1f  %14.1f  %12.2f"
+            % (row["offered"] / 1e3, row["throughput"] / 1e3, row["latency_ms"])
+        )
+    return "\n".join(lines)
+
+
+def format_monitoring_view(title: str, view: Dict[str, List[float]]) -> str:
+    """Figs 9/11: per-node monitored throughput, master vs backups."""
+    lines = [title]
+    for name in sorted(view):
+        rates = view[name]
+        cells = "  ".join(
+            "%s=%.2f kreq/s" % ("master" if k == 0 else "backup%d" % k, r / 1e3)
+            for k, r in enumerate(rates)
+        )
+        lines.append("  %s: %s" % (name, cells))
+    return "\n".join(lines)
+
+
+def format_table1(degradations: Dict[str, float]) -> str:
+    """Table I: maximum throughput degradation under attack."""
+    lines = ["Table I: maximum throughput degradation under attack"]
+    lines.append("  (paper: Prime 78 %, Aardvark 87 %, Spinning 99 %)")
+    for protocol in ("prime", "aardvark", "spinning"):
+        if protocol in degradations:
+            lines.append(
+                "  %-10s %6.1f %%" % (protocol.capitalize(), degradations[protocol])
+            )
+    return "\n".join(lines)

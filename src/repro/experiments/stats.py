@@ -1,0 +1,49 @@
+"""Multi-seed statistics for experiment results.
+
+Single simulated runs carry seed-dependent noise (Poisson arrivals,
+network jitter).  ``seed_sweep`` repeats a measurement across seeds and
+summarises it, so EXPERIMENTS.md can quote mean ± stdev instead of one
+draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.metrics.recorder import summarize
+
+__all__ = ["SweepResult", "seed_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """Per-seed values plus summary statistics."""
+
+    values: List[float]
+    seeds: List[int]
+
+    @property
+    def mean(self) -> float:
+        return self.summary["mean"]
+
+    @property
+    def stdev(self) -> float:
+        return self.summary["stdev"]
+
+    @property
+    def summary(self) -> dict:
+        return summarize(self.values)
+
+    def __str__(self) -> str:
+        return "%.2f ± %.2f (n=%d)" % (self.mean, self.stdev, len(self.values))
+
+
+def seed_sweep(
+    measure: Callable[[int], float],
+    seeds: Sequence[int] = (0, 1, 2),
+) -> SweepResult:
+    """Run ``measure(seed)`` for each seed and summarise the results."""
+    seeds = list(seeds)
+    values = [float(measure(seed)) for seed in seeds]
+    return SweepResult(values=values, seeds=seeds)

@@ -1,0 +1,26 @@
+"""Attack orchestration: the adversaries of §III and §VI-C."""
+
+from .attacks import (
+    HeavyClient,
+    install_aardvark_attack,
+    install_prime_attack,
+    install_rbft_worst_attack_1,
+    install_rbft_worst_attack_2,
+    install_spinning_attack,
+    install_unfair_primary,
+)
+from .flooding import MAX_FLOOD_SIZE, Flooder
+from .pacing import BatchPacer
+
+__all__ = [
+    "BatchPacer",
+    "Flooder",
+    "MAX_FLOOD_SIZE",
+    "HeavyClient",
+    "install_aardvark_attack",
+    "install_prime_attack",
+    "install_rbft_worst_attack_1",
+    "install_rbft_worst_attack_2",
+    "install_spinning_attack",
+    "install_unfair_primary",
+]

@@ -1,0 +1,56 @@
+"""Flooding attackers (§VI-C).
+
+A faulty node floods victims with invalid messages of maximal size: the
+victim pays reception bandwidth plus a MAC verification per message until
+it closes the flooder's NIC (§V).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.common.cluster import Machine
+from repro.core.messages import FloodMsg
+
+__all__ = ["Flooder", "MAX_FLOOD_SIZE"]
+
+#: "invalid messages of the maximal size" — jumbo-frame sized junk.
+MAX_FLOOD_SIZE = 9000
+
+
+class Flooder:
+    """A process on a faulty machine that floods selected victims."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        victims: Iterable[str],
+        size: int = MAX_FLOOD_SIZE,
+        rate: float = 10_000.0,  # messages/second per victim
+    ):
+        self.machine = machine
+        self.victims: List[str] = list(victims)
+        self.size = size
+        self.rate = rate
+        self.sim = machine.cluster.sim
+        self.sent = 0
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.process(self._run(), name="flooder-%s" % self.machine.name)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _run(self):
+        gap = 1.0 / self.rate
+        while self._running:
+            for victim in self.victims:
+                self.machine.send_to_node(
+                    victim, FloodMsg(self.machine.name, self.size)
+                )
+                self.sent += 1
+            yield self.sim.timeout(gap)

@@ -1,0 +1,43 @@
+"""Rate pacing for smartly-malicious primaries.
+
+Every attack in the paper boils down to the same move: the primary
+releases ordering messages just fast enough to stay below the detection
+threshold.  :class:`BatchPacer` turns a target rate into the per-batch
+delay the engine's attack hook expects, keeping a virtual send horizon so
+bursts cannot defeat the pacing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.engine import Simulator
+
+__all__ = ["BatchPacer"]
+
+
+class BatchPacer:
+    """Computes the delay that holds a primary to ``target_rate_fn()``.
+
+    ``target_rate_fn`` is evaluated at every batch, so adaptive attackers
+    (tracking Aardvark's rising requirement or RBFT's Δ·backup bound)
+    plug their live estimate straight in.
+    """
+
+    def __init__(self, sim: Simulator, target_rate_fn: Callable[[], float]):
+        self.sim = sim
+        self.target_rate_fn = target_rate_fn
+        self._next_send_at = 0.0
+
+    def delay_for(self, items: int) -> float:
+        """Delay to apply before sending a batch of ``items`` requests."""
+        now = self.sim.now
+        rate = self.target_rate_fn()
+        if rate <= 0:
+            return 0.0
+        start = self._next_send_at if self._next_send_at > now else now
+        self._next_send_at = start + items / rate
+        return start - now
+
+    def reset(self) -> None:
+        self._next_send_at = 0.0

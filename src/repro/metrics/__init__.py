@@ -1,0 +1,17 @@
+"""Measurement instruments: throughput meters, latency recorders, series."""
+
+from .recorder import (
+    LatencyRecorder,
+    ThroughputMeter,
+    TimeSeries,
+    WindowedCounter,
+    summarize,
+)
+
+__all__ = [
+    "LatencyRecorder",
+    "ThroughputMeter",
+    "TimeSeries",
+    "WindowedCounter",
+    "summarize",
+]

@@ -1,0 +1,146 @@
+"""Throughput and latency recorders.
+
+These are the measurement instruments of both the *experiments* (client
+side: achieved throughput, request latency) and the *protocol itself*
+(RBFT's monitoring module keeps one windowed counter per protocol
+instance — the ``nbreqs_i`` of §IV-C — and per-client latency averages).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.engine import Simulator
+
+__all__ = [
+    "WindowedCounter",
+    "ThroughputMeter",
+    "LatencyRecorder",
+    "TimeSeries",
+    "summarize",
+]
+
+
+class WindowedCounter:
+    """A counter read-and-reset once per monitoring period (§IV-C)."""
+
+    __slots__ = ("count", "total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+
+    def add(self, n: int = 1) -> None:
+        self.count += n
+        self.total += n
+
+    def take(self) -> int:
+        """Return the current window's count and reset it."""
+        count, self.count = self.count, 0
+        return count
+
+
+class ThroughputMeter:
+    """Counts events and reports rates over arbitrary intervals."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.count = 0
+        self._marks: List[Tuple[float, int]] = [(sim.now, 0)]
+
+    def add(self, n: int = 1) -> None:
+        self.count += n
+
+    def mark(self) -> None:
+        """Record a checkpoint for interval queries."""
+        self._marks.append((self.sim.now, self.count))
+
+    def rate_since(self, t0: float) -> float:
+        """Average events/second from virtual time ``t0`` to now."""
+        elapsed = self.sim.now - t0
+        if elapsed <= 0:
+            return 0.0
+        count0 = 0
+        for time, count in self._marks:
+            if time <= t0:
+                count0 = count
+            else:
+                break
+        return (self.count - count0) / elapsed
+
+    def total_rate(self) -> float:
+        start = self._marks[0][0]
+        return self.rate_since(start)
+
+
+class LatencyRecorder:
+    """Stores individual latencies; reports mean / percentiles."""
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        self.samples.append(latency)
+
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (len(ordered) - 1) * p
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    def median(self) -> float:
+        return self.percentile(0.5)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class TimeSeries:
+    """(time, value) pairs, e.g. per-request latency traces (Fig. 12)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.points: List[Tuple[float, float]] = []
+
+    def append(self, time: float, value: float) -> None:
+        self.points.append((time, value))
+
+    def times(self) -> List[float]:
+        return [t for t, _ in self.points]
+
+    def values(self) -> List[float]:
+        return [v for _, v in self.points]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """Mean/min/max/stdev of a sample set (empty-safe)."""
+    if not samples:
+        return {"mean": 0.0, "min": 0.0, "max": 0.0, "stdev": 0.0, "n": 0}
+    n = len(samples)
+    mean = sum(samples) / n
+    var = sum((x - mean) ** 2 for x in samples) / n
+    return {
+        "mean": mean,
+        "min": min(samples),
+        "max": max(samples),
+        "stdev": math.sqrt(var),
+        "n": n,
+    }

@@ -1,0 +1,7 @@
+"""Simulated network: messages, NICs, channels."""
+
+from .message import Message
+from .network import GIGABIT_BPS, Channel, LinkProfile, Network
+from .nic import NIC
+
+__all__ = ["Message", "NIC", "Channel", "LinkProfile", "Network", "GIGABIT_BPS"]

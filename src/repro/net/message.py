@@ -1,0 +1,41 @@
+"""Base class for wire messages.
+
+Messages are plain Python objects with a structural payload; what the
+network cares about is :meth:`Message.wire_size`, and what receivers care
+about is the authentication tag.  Concrete protocols subclass this with
+their own fields.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.costmodel import MESSAGE_HEADER_SIZE
+
+__all__ = ["Message"]
+
+
+class Message:
+    """A unit of network transfer.
+
+    Subclasses set :attr:`body_size` (bytes of payload beyond the common
+    header) or override :meth:`wire_size`.  ``sender`` is the principal
+    (node or client id) that emitted the message.
+    """
+
+    __slots__ = ("sender",)
+
+    #: payload bytes beyond the common header; subclasses override.
+    body_size: int = 0
+
+    def __init__(self, sender: str):
+        self.sender = sender
+
+    def wire_size(self) -> int:
+        """Total bytes on the wire."""
+        return MESSAGE_HEADER_SIZE + self.body_size
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return "%s(from=%s)" % (self.kind, self.sender)

@@ -1,0 +1,162 @@
+"""Point-to-point channels and the network fabric.
+
+The testbed in the paper is a Gigabit switched LAN.  We model each
+(sender NIC, receiver NIC) pair as a :class:`Channel` with
+
+* transmission time on the sender NIC (``size / bandwidth``),
+* a propagation latency with optional jitter,
+* reception time on the receiver NIC,
+* either **TCP** semantics — lossless and FIFO per channel, with a small
+  per-message overhead for acknowledgements/flow control (this overhead
+  is what makes the UDP variant of RBFT ~20 % faster in latency, §VI-B)
+  — or **UDP** semantics — possible loss and reordering, no overhead.
+
+Flooding protection: if the receiving NIC is closed (RBFT closes the NIC
+of a flooding node, §V), traffic arriving while it is closed is dropped
+in hardware at no cost to the receiver.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.sim.engine import Simulator
+
+from .message import Message
+from .nic import NIC
+
+__all__ = ["LinkProfile", "Channel", "Network", "GIGABIT_BPS"]
+
+#: 1 Gbit/s expressed in bytes per second.
+GIGABIT_BPS = 125_000_000.0
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Propagation characteristics of a link."""
+
+    latency: float = 60e-6  # one-way LAN latency, seconds
+    jitter: float = 10e-6  # uniform [0, jitter) added per message
+    tcp_overhead: float = 45e-6  # extra per-message latency under TCP
+    udp_loss: float = 0.0  # drop probability under UDP
+
+
+LAN = LinkProfile()
+
+
+class Channel:
+    """A unidirectional (sender NIC → receiver NIC) message pipe."""
+
+    __slots__ = (
+        "network",
+        "src",
+        "dst",
+        "src_nic",
+        "dst_nic",
+        "profile",
+        "tcp",
+        "handler",
+        "_last_delivery",
+        "delivered",
+        "dropped",
+    )
+
+    def __init__(
+        self,
+        network: "Network",
+        src: str,
+        dst: str,
+        src_nic: NIC,
+        dst_nic: NIC,
+        handler: Callable[[Message], None],
+        profile: LinkProfile = LAN,
+        tcp: bool = True,
+    ):
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.src_nic = src_nic
+        self.dst_nic = dst_nic
+        self.profile = profile
+        self.tcp = tcp
+        self.handler = handler
+        self._last_delivery = 0.0
+        self.delivered = 0
+        self.dropped = 0
+
+    def send(self, msg: Message) -> None:
+        """Transmit ``msg``; the receiver's handler fires on delivery."""
+        tx_done = self.src_nic.reserve_tx(msg.wire_size())
+        self._deliver_from(msg, tx_done)
+
+    def _deliver_from(self, msg: Message, tx_done: float) -> None:
+        """Propagate a message whose transmission completes at ``tx_done``."""
+        sim = self.network.sim
+        size = msg.wire_size()
+        arrival = tx_done + self.profile.latency
+        rng = self.network.rng
+        if self.profile.jitter > 0:
+            arrival += rng.random() * self.profile.jitter
+        if self.tcp:
+            arrival += self.profile.tcp_overhead
+        elif self.profile.udp_loss > 0 and rng.random() < self.profile.udp_loss:
+            self.dropped += 1
+            return
+        if arrival < self.dst_nic.closed_until:
+            # The receiver closed this NIC: hardware drop, zero cost.
+            self.dst_nic.note_dropped()
+            self.dropped += 1
+            return
+        deliver_at = self.dst_nic.reserve_rx(size, arrival)
+        if self.tcp and deliver_at < self._last_delivery:
+            deliver_at = self._last_delivery  # FIFO guarantee
+        self._last_delivery = deliver_at
+        self.delivered += 1
+        sim.call_at(deliver_at, self.handler, msg)
+
+    def __repr__(self) -> str:
+        return "Channel(%s->%s, %s)" % (self.src, self.dst, "tcp" if self.tcp else "udp")
+
+
+class Network:
+    """Factory and bookkeeping for channels.
+
+    A single RNG stream drives jitter and loss across all channels so
+    experiments replay deterministically from one seed.
+    """
+
+    def __init__(self, sim: Simulator, rng: Optional[random.Random] = None):
+        self.sim = sim
+        self.rng = rng or random.Random(0)
+        self.channels = []
+
+    def connect(
+        self,
+        src: str,
+        dst: str,
+        src_nic: NIC,
+        dst_nic: NIC,
+        handler: Callable[[Message], None],
+        profile: LinkProfile = LAN,
+        tcp: bool = True,
+    ) -> Channel:
+        channel = Channel(self, src, dst, src_nic, dst_nic, handler, profile, tcp)
+        self.channels.append(channel)
+        return channel
+
+    @staticmethod
+    def multicast(channels: Iterable[Channel], msg: Message) -> None:
+        """Send ``msg`` on several channels sharing one sender NIC.
+
+        Under UDP multicast (Spinning, §VI-B) the sender transmits the
+        packet once; receivers each pay their own reception.  We charge
+        the sender NIC once and fan the single transmission out.
+        """
+        channels = list(channels)
+        if not channels:
+            return
+        tx_done = channels[0].src_nic.reserve_tx(msg.wire_size())
+        for channel in channels:
+            channel._deliver_from(msg, tx_done)

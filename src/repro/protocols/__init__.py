@@ -1,0 +1,5 @@
+"""BFT protocol implementations: the PBFT core and the robust baselines."""
+
+from .base import BftNode, ClientRequestMsg, NodeConfig, ReplyMsg
+
+__all__ = ["BftNode", "ClientRequestMsg", "NodeConfig", "ReplyMsg"]

@@ -1,0 +1,5 @@
+"""Aardvark: PBFT with regular, monitored primary changes."""
+
+from .node import AardvarkConfig, AardvarkNode
+
+__all__ = ["AardvarkConfig", "AardvarkNode"]

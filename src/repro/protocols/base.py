@@ -1,0 +1,218 @@
+"""Shared node machinery for the single-instance baseline protocols.
+
+A :class:`BftNode` is one physical machine running one replica of a
+PBFT-family protocol (Aardvark, Spinning, or plain PBFT).  It owns three
+pinned cores, mirroring the multi-threaded implementations the paper
+compares against:
+
+* a **verification core** authenticating client requests,
+* a **protocol core** running the three-phase ordering engine,
+* an **execution core** applying ordered requests and emitting replies.
+
+Subclasses configure how client requests are authenticated (MACs only
+for Spinning, MAC-then-signature for Aardvark) and add their robustness
+mechanisms on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.common.cluster import Machine
+from repro.common.statemachine import Service
+from repro.common.types import Reply, Request
+from repro.crypto.blacklist import ClientBlacklist
+from repro.crypto.costmodel import MAC_SIZE, MESSAGE_HEADER_SIZE, CryptoCostModel
+from repro.crypto.primitives import Mac
+from repro.net.message import Message
+
+from .pbft.engine import InstanceConfig, OrderingInstance
+from .pbft.messages import OrderingMessage
+
+__all__ = ["ClientRequestMsg", "ReplyMsg", "NodeConfig", "BftNode"]
+
+
+class ClientRequestMsg(Message):
+    """A REQUEST on the wire (client → node)."""
+
+    __slots__ = ("request",)
+
+    def __init__(self, request: Request):
+        super().__init__(request.client)
+        self.request = request
+
+    def wire_size(self) -> int:
+        return self.request.wire_size()
+
+
+class ReplyMsg(Message):
+    """A REPLY on the wire (node → client), MAC-authenticated (step 6)."""
+
+    __slots__ = ("reply", "mac")
+
+    def __init__(self, reply: Reply, mac: Mac):
+        super().__init__(reply.node)
+        self.reply = reply
+        self.mac = mac
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + self.reply.result_size + MAC_SIZE
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Configuration shared by the baseline protocol nodes."""
+
+    instance: InstanceConfig = field(default_factory=InstanceConfig)
+    verify_request_signature: bool = True  # Aardvark hybrid; Spinning: False
+    mac_only_requests: bool = False  # Spinning: requests carry MACs only
+    costs: CryptoCostModel = field(default_factory=CryptoCostModel)
+
+    @property
+    def f(self) -> int:
+        return self.instance.f
+
+    @property
+    def n(self) -> int:
+        return self.instance.n
+
+
+class BftNode:
+    """One machine running one replica (baseline protocols)."""
+
+    def __init__(self, machine: Machine, config: NodeConfig, service: Service):
+        self.machine = machine
+        self.config = config
+        self.costs = config.costs
+        self.service = service
+        self.name = machine.name
+        sim = machine.cluster.sim
+        self.sim = sim
+
+        self.verification_core = machine.cores.allocate("verification")
+        self.protocol_core = machine.cores.allocate("protocol")
+        self.execution_core = machine.cores.allocate("execution")
+
+        self.engine = OrderingInstance(
+            sim,
+            self.protocol_core,
+            transport=self,
+            config=config.instance,
+            costs=self.costs,
+            replica=self.name,
+            instance=0,
+            on_ordered=self._on_ordered,
+            on_view_entered=self._on_view_entered,
+            primary_offset=0,
+        )
+        self.blacklist = ClientBlacklist()
+        self.executed_ids = set()
+        self.reply_cache: Dict[str, Tuple[int, Reply]] = {}
+        self.executed_count = 0
+        self.invalid_requests = 0
+        machine.handler = self.on_network_message
+
+    # ------------------------------------------------------- engine transport
+    def broadcast(self, msg: OrderingMessage) -> None:
+        self.machine.broadcast_to_nodes(msg)
+
+    def send(self, replica: str, msg: OrderingMessage) -> None:
+        self.machine.send_to_node(replica, msg)
+
+    # ------------------------------------------------------------- routing
+    def on_network_message(self, msg: Message) -> None:
+        if isinstance(msg, ClientRequestMsg):
+            self._receive_request(msg.request)
+        elif isinstance(msg, OrderingMessage):
+            self.engine.receive(msg)
+        else:
+            self.on_other_message(msg)
+
+    def on_other_message(self, msg: Message) -> None:
+        """Hook for protocol-specific extra messages (default: ignore)."""
+
+    def _on_view_entered(self, view: int) -> None:
+        """Hook: a new view was installed (default: no reaction)."""
+
+    # ------------------------------------------------- request verification
+    def _receive_request(self, request: Request) -> None:
+        """Step 1: MAC check, then (per-protocol) signature check."""
+        if self.blacklist.banned(request.client):
+            return
+        mac_cost = self.costs.authenticator_verify(request.wire_size())
+        if self.config.mac_only_requests:
+            self.verification_core.submit(mac_cost, self._after_mac_only, request)
+            return
+        self.verification_core.submit(mac_cost, self._after_mac, request)
+
+    def _after_mac_only(self, request: Request) -> None:
+        if not request.authenticator.valid_for(self.name):
+            self.invalid_requests += 1
+            return
+        self.on_request_verified(request)
+
+    def _after_mac(self, request: Request) -> None:
+        if not request.authenticator.valid_for(self.name):
+            self.invalid_requests += 1
+            return
+        if request.request_id in self.executed_ids:
+            self._resend_reply(request)
+            return
+        if self.config.verify_request_signature:
+            sig_cost = self.costs.sig_verify(request.wire_size())
+            self.verification_core.submit(sig_cost, self._after_signature, request)
+        else:
+            self.on_request_verified(request)
+
+    def _after_signature(self, request: Request) -> None:
+        if not request.signature.valid:
+            # Invalid signature behind a valid MAC: blacklist the client.
+            self.blacklist.ban(request.client)
+            self.invalid_requests += 1
+            return
+        self.on_request_verified(request)
+
+    def on_request_verified(self, request: Request) -> None:
+        """A fully authenticated request enters the ordering pipeline."""
+        self.engine.submit(request)
+
+    # ------------------------------------------------------------ execution
+    def _on_ordered(self, seq: int, items: Tuple) -> None:
+        for request in items:
+            if request.request_id in self.executed_ids:
+                continue
+            self.executed_ids.add(request.request_id)
+            cost = self.service.exec_cost(request) + self.costs.mac_gen(
+                MESSAGE_HEADER_SIZE
+            )
+            self.execution_core.submit(cost, self._execute_one, request)
+
+    def _execute_one(self, request: Request) -> None:
+        result, result_size = self.service.apply(request)
+        self.executed_count += 1
+        reply = Reply(self.name, request.client, request.rid, result, result_size)
+        self.reply_cache[request.client] = (request.rid, reply)
+        self._send_reply(reply)
+        self.on_executed(request)
+
+    def on_executed(self, request: Request) -> None:
+        """Hook: monitoring counters etc."""
+
+    def _send_reply(self, reply: Reply) -> None:
+        channel = self.machine.channels_to_clients.get(reply.client)
+        if channel is not None:
+            channel.send(ReplyMsg(reply, Mac(self.name)))
+
+    def _resend_reply(self, request: Request) -> None:
+        cached = self.reply_cache.get(request.client)
+        if cached is not None and cached[0] == request.rid:
+            self._send_reply(cached[1])
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def is_primary(self) -> bool:
+        return self.engine.is_primary
+
+    def __repr__(self) -> str:
+        return "%s(%s, view=%d)" % (type(self).__name__, self.name, self.engine.view)

@@ -1,0 +1,26 @@
+"""The three-phase ordering engine and its wire messages."""
+
+from .engine import InstanceConfig, OrderingInstance
+from .messages import (
+    Checkpoint,
+    Commit,
+    NewView,
+    OrderingMessage,
+    PrePrepare,
+    Prepare,
+    ViewChange,
+    batch_payload_size,
+)
+
+__all__ = [
+    "InstanceConfig",
+    "OrderingInstance",
+    "Checkpoint",
+    "Commit",
+    "NewView",
+    "OrderingMessage",
+    "PrePrepare",
+    "Prepare",
+    "ViewChange",
+    "batch_payload_size",
+]

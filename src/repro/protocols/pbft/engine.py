@@ -1,0 +1,679 @@
+"""The three-phase ordering engine (PRE-PREPARE / PREPARE / COMMIT).
+
+This is the consensus core every protocol in the repository runs:
+
+* **Aardvark** runs one engine per node with full-request batches and
+  monitoring-driven regular view changes;
+* **Spinning** runs one engine per node in *auto-advance* mode, where the
+  view (and therefore the primary) rotates after every ordered batch;
+* **RBFT** runs f+1 engines per node (one per protocol instance), with
+  identifier batches, a PROPAGATE guard, and view changes driven only by
+  the instance-change mechanism (§IV-A: "a protocol instance does not
+  proceed to a view change by its own").
+
+The engine is an actor: all CPU work (authenticating and verifying
+messages) is charged to the single core it is pinned on, so a saturated
+instance queues exactly like the paper's per-replica processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.common.batching import Batcher
+from repro.common.quorum import QuorumTracker
+from repro.crypto.costmodel import DIGEST_SIZE, CryptoCostModel
+from repro.crypto.primitives import Digest, MacAuthenticator
+from repro.sim.engine import Simulator
+from repro.sim.resources import Core
+
+from .messages import (
+    Checkpoint,
+    Commit,
+    NewView,
+    OrderingMessage,
+    PrePrepare,
+    Prepare,
+    ViewChange,
+    batch_payload_size,
+)
+
+__all__ = ["InstanceConfig", "OrderingInstance"]
+
+
+@dataclass(frozen=True)
+class InstanceConfig:
+    """Tuning knobs of one ordering instance."""
+
+    f: int = 1
+    batch_size: int = 64
+    batch_delay: float = 1e-3
+    checkpoint_interval: int = 128
+    watermark_window: int = 1024  # batches admissible above the low watermark
+    rx_overhead: float = 1.5e-6  # per-message handling cost (syscalls etc.)
+    full_payload: bool = True  # order full requests (False: identifiers)
+    auto_advance_view: bool = False  # Spinning: rotate primary per batch
+    #: UDP-multicast deployments authenticate the single transmitted
+    #: packet with one digest-based authenticator instead of one full
+    #: MAC pass per recipient (Spinning, §VI-B).
+    multicast_auth: bool = False
+
+    @property
+    def n(self) -> int:
+        return 3 * self.f + 1
+
+    @property
+    def prepare_quorum(self) -> int:
+        return 2 * self.f
+
+    @property
+    def commit_quorum(self) -> int:
+        return 2 * self.f + 1
+
+    @property
+    def vc_quorum(self) -> int:
+        return 2 * self.f + 1
+
+
+class _Entry:
+    """Per-sequence-number log record."""
+
+    __slots__ = ("view", "seq", "items", "digest", "prepared", "committed")
+
+    def __init__(self, view: int, seq: int, items: Tuple, digest: Digest):
+        self.view = view
+        self.seq = seq
+        self.items = items
+        self.digest = digest
+        self.prepared = False
+        self.committed = False
+
+
+class OrderingInstance:
+    """One replica of one protocol instance."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        core: Core,
+        transport,
+        config: InstanceConfig,
+        costs: CryptoCostModel,
+        replica: str,
+        instance: int = 0,
+        on_ordered: Optional[Callable[[int, Tuple], None]] = None,
+        guard: Optional[Callable[[Tuple], bool]] = None,
+        on_view_entered: Optional[Callable[[int], None]] = None,
+        primary_offset: Optional[int] = None,
+    ):
+        self.sim = sim
+        self.core = core
+        self.transport = transport
+        self.config = config
+        self.costs = costs
+        self.replica = replica  # e.g. "node2"
+        self.index = int(replica.replace("node", ""))
+        self.instance = instance
+        self.on_ordered = on_ordered or (lambda seq, items: None)
+        self.guard = guard
+        self.on_view_entered = on_view_entered or (lambda view: None)
+        # RBFT places primaries so at most one runs per node (§IV-A).
+        self.primary_offset = instance if primary_offset is None else primary_offset
+
+        self.view = 0
+        self.active = True
+        self.seq_assigned = 0
+        self.low_watermark = 0
+        self.next_exec = 1
+        self.log: Dict[int, _Entry] = {}
+        self.pending: Dict = {}  # request_id -> item, awaiting ordering
+        self._ordered_ids: Set = set()
+        self._prepare_votes = QuorumTracker(config.prepare_quorum)
+        self._commit_votes = QuorumTracker(config.commit_quorum)
+        self._checkpoint_votes = QuorumTracker(config.commit_quorum)
+        self._vc_votes: Dict[int, Dict[str, ViewChange]] = {}
+        self._vc_voted_for = 0
+        self.pending_view: Optional[int] = None
+        self._waiting_guard: List[PrePrepare] = []
+        self._future: List[OrderingMessage] = []  # messages from views ahead
+        self.batcher: Batcher = Batcher(
+            sim, config.batch_size, config.batch_delay, self._flush_batch
+        )
+
+        #: optional override of the view→primary mapping (Spinning skips
+        #: blacklisted replicas in its rotation).
+        self.primary_selector: Optional[Callable[[int], int]] = None
+
+        # Attack hooks ----------------------------------------------------
+        #: extra delay a malicious primary inserts before each PRE-PREPARE;
+        #: receives the outgoing message (for rate pacing by batch size).
+        self.preprepare_delay_fn: Optional[Callable[[PrePrepare], float]] = None
+        #: a silent faulty replica sends nothing at all (worst-attack-1).
+        self.silent = False
+        #: called with the sender id when a message fails verification
+        #: (the node uses this to detect and isolate flooding peers).
+        self.on_invalid: Optional[Callable[[str], None]] = None
+
+        # Counters ---------------------------------------------------------
+        self.ordered_batches = 0
+        self.ordered_items = 0
+        self.view_changes = 0
+
+    # ------------------------------------------------------------ identity
+    def primary_index(self, view: Optional[int] = None) -> int:
+        view = self.view if view is None else view
+        if self.primary_selector is not None:
+            return self.primary_selector(view)
+        return (view + self.primary_offset) % self.config.n
+
+    def primary_name(self, view: Optional[int] = None) -> str:
+        return "node%d" % self.primary_index(view)
+
+    @property
+    def is_primary(self) -> bool:
+        return self.primary_index() == self.index
+
+    # ------------------------------------------------------------- ingress
+    def submit(self, item) -> None:
+        """Hand a verified request (or identifier) to this replica.
+
+        Every replica pools the item; the current primary additionally
+        feeds its batcher.
+        """
+        request_id = item.request_id
+        if request_id in self._ordered_ids or request_id in self.pending:
+            return
+        self.pending[request_id] = item
+        if self.is_primary and self.active and not self.silent:
+            self.batcher.add(item)
+
+    def recheck_guards(self) -> None:
+        """Re-test buffered pre-prepares whose guard previously failed."""
+        if not self._waiting_guard or self.guard is None:
+            return
+        waiting, self._waiting_guard = self._waiting_guard, []
+        for msg in waiting:
+            if self.guard(msg.items):
+                self._accept_preprepare(msg)
+            else:
+                self._waiting_guard.append(msg)
+
+    # ----------------------------------------------------------- batching
+    def _flush_batch(self, items: List) -> None:
+        if not self.is_primary or not self.active or self.silent:
+            for item in items:  # lost leadership while batching: re-pool
+                self.pending.setdefault(item.request_id, item)
+            return
+        seen = set()
+        unique = []
+        for item in items:
+            request_id = item.request_id
+            if request_id in self._ordered_ids or request_id in seen:
+                continue
+            seen.add(request_id)
+            unique.append(item)
+        items = tuple(unique)
+        if not items:
+            return
+        if self.config.auto_advance_view:
+            # Spinning: one batch per leadership turn, then rotate.
+            self.batcher.pause()
+        self.seq_assigned += 1
+        seq = self.seq_assigned
+        digest = self._batch_digest(seq, items)
+        payload = batch_payload_size(items, self.config.full_payload)
+        msg = PrePrepare(
+            self.replica,
+            self.instance,
+            self.view,
+            seq,
+            items,
+            digest,
+            payload,
+            MacAuthenticator(self.replica),
+        )
+        # PBFT-lineage implementations MAC the whole ordering message once
+        # per recipient (no digest shortcut) — this is what makes ordering
+        # full requests expensive and identifier ordering cheap (§VI-B).
+        # Multicast deployments hash the single packet once instead.
+        if self.config.multicast_auth:
+            cost = self.costs.authenticator_gen(payload, self.config.n - 1)
+        else:
+            cost = (self.config.n - 1) * self.costs.mac_gen(payload)
+        delay = self.preprepare_delay_fn(msg) if self.preprepare_delay_fn else 0.0
+        self.core.submit(cost, self._send_preprepare, msg, delay)
+
+    def _send_preprepare(self, msg: PrePrepare, delay: float) -> None:
+        if delay > 0:
+            self.sim.call_after(delay, self._emit_preprepare, msg)
+        else:
+            self._emit_preprepare(msg)
+
+    def _emit_preprepare(self, msg: PrePrepare) -> None:
+        if msg.view != self.view or not self.active:
+            return  # a view change overtook the delayed send
+        self.transport.broadcast(msg)
+        self._record_preprepare(msg)
+
+    def _batch_digest(self, seq: int, items: Tuple) -> Digest:
+        return Digest(
+            ("batch", self.instance, seq, tuple(item.request_id for item in items))
+        )
+
+    # ------------------------------------------------------------- receive
+    def receive(self, msg: OrderingMessage) -> None:
+        """Entry point from the node's router: charge CPU, then dispatch."""
+        cost = self._verify_cost(msg) + self.config.rx_overhead
+        self.core.submit(cost, self._dispatch, msg)
+
+    def _verify_cost(self, msg: OrderingMessage) -> float:
+        if isinstance(msg, PrePrepare):
+            if self.config.multicast_auth:
+                return self.costs.authenticator_verify(msg.payload_size)
+            return self.costs.mac_verify(msg.payload_size)
+        if isinstance(msg, (ViewChange, NewView)):
+            return self.costs.sig_verify(msg.wire_size())
+        return self.costs.authenticator_verify(DIGEST_SIZE)
+
+    def _dispatch(self, msg: OrderingMessage) -> None:
+        if not msg.authenticator.valid_for(self.replica):
+            if self.on_invalid is not None:
+                self.on_invalid(msg.sender)
+            return  # verification failed: the CPU cost is already paid
+        if isinstance(msg, PrePrepare):
+            self._on_preprepare(msg)
+        elif isinstance(msg, Prepare):
+            self._on_prepare(msg)
+        elif isinstance(msg, Commit):
+            self._on_commit(msg)
+        elif isinstance(msg, Checkpoint):
+            self._on_checkpoint(msg)
+        elif isinstance(msg, ViewChange):
+            self._on_view_change(msg)
+        elif isinstance(msg, NewView):
+            self._on_new_view(msg)
+
+    # ------------------------------------------------------- future buffer
+    def _buffer_future(self, msg) -> None:
+        """Hold messages from views we have not reached yet.
+
+        Replicas advance views at slightly different times (notably under
+        Spinning's per-batch rotation); without buffering, a lagging
+        replica would drop the next view's PRE-PREPARE and deadlock.
+        """
+        if len(self._future) < 4096:
+            self._future.append(msg)
+
+    def _replay_future(self) -> None:
+        if not self._future:
+            return
+        ready = [m for m in self._future if m.view <= self.view]
+        if not ready:
+            return
+        self._future = [m for m in self._future if m.view > self.view]
+        for msg in ready:
+            self._dispatch(msg)
+
+    # --------------------------------------------------------- pre-prepare
+    def _on_preprepare(self, msg: PrePrepare) -> None:
+        if msg.view > self.view:
+            self._buffer_future(msg)
+            return
+        if (
+            msg.view != self.view
+            or not self.active
+            or msg.sender != self.primary_name(msg.view)
+            or msg.sender == self.replica
+        ):
+            return
+        if not (self.low_watermark < msg.seq <= self.low_watermark + self.config.watermark_window):
+            return
+        existing = self.log.get(msg.seq)
+        if existing is not None and (existing.committed or existing.view >= msg.view):
+            return
+        if self.guard is not None and not self.guard(msg.items):
+            self._waiting_guard.append(msg)
+            return
+        self._accept_preprepare(msg)
+
+    def _accept_preprepare(self, msg: PrePrepare) -> None:
+        if msg.view != self.view or not self.active:
+            return
+        entry = _Entry(msg.view, msg.seq, msg.items, msg.digest)
+        self.log[msg.seq] = entry
+        key = (msg.view, msg.seq, msg.digest)
+        if not self.silent:
+            prepare = Prepare(
+                self.replica,
+                self.instance,
+                msg.view,
+                msg.seq,
+                msg.digest,
+                MacAuthenticator(self.replica),
+            )
+            cost = self.costs.authenticator_gen(DIGEST_SIZE, self.config.n - 1)
+            self.core.submit(cost, self.transport.broadcast, prepare)
+            if self._prepare_votes.add(key, self.replica):
+                self._mark_prepared(msg.seq, msg.view, msg.digest)
+                return
+        if self._prepare_votes.complete(key):
+            self._mark_prepared(msg.seq, msg.view, msg.digest)
+
+    def _record_preprepare(self, msg: PrePrepare) -> None:
+        """The primary's own bookkeeping for the batch it just proposed."""
+        self.log[msg.seq] = _Entry(msg.view, msg.seq, msg.items, msg.digest)
+
+    # --------------------------------------------------------------- prepare
+    def _on_prepare(self, msg: Prepare) -> None:
+        if msg.view > self.view:
+            self._buffer_future(msg)
+            return
+        if msg.view != self.view or not self.active:
+            return
+        if msg.sender == self.primary_name(msg.view):
+            return  # the primary's pre-prepare is its prepare
+        key = (msg.view, msg.seq, msg.digest)
+        if self._prepare_votes.add(key, msg.sender):
+            self._mark_prepared(msg.seq, msg.view, msg.digest)
+
+    def _mark_prepared(self, seq: int, view: int, digest: Digest) -> None:
+        entry = self.log.get(seq)
+        if entry is None or entry.digest != digest or entry.prepared:
+            return
+        entry.prepared = True
+        key = (view, seq, digest)
+        if not self.silent:
+            commit = Commit(
+                self.replica, self.instance, view, seq, digest,
+                MacAuthenticator(self.replica),
+            )
+            cost = self.costs.authenticator_gen(DIGEST_SIZE, self.config.n - 1)
+            self.core.submit(cost, self.transport.broadcast, commit)
+            self._commit_votes.add(key, self.replica)
+        self._maybe_commit(seq, view, digest)
+
+    # ---------------------------------------------------------------- commit
+    def _on_commit(self, msg: Commit) -> None:
+        if msg.view > self.view:
+            self._buffer_future(msg)
+            return
+        if msg.view != self.view or not self.active:
+            return
+        key = (msg.view, msg.seq, msg.digest)
+        self._commit_votes.add(key, msg.sender)
+        self._maybe_commit(msg.seq, msg.view, msg.digest)
+
+    def _maybe_commit(self, seq: int, view: int, digest: Digest) -> None:
+        entry = self.log.get(seq)
+        if (
+            entry is None
+            or entry.committed
+            or not entry.prepared
+            or entry.digest != digest
+        ):
+            return
+        if not self._commit_votes.complete((view, seq, digest)):
+            return
+        entry.committed = True
+        self._drain_ordered()
+
+    def _drain_ordered(self) -> None:
+        """Deliver committed batches in sequence order."""
+        while True:
+            entry = self.log.get(self.next_exec)
+            if entry is None or not entry.committed:
+                break
+            seq = self.next_exec
+            self.next_exec += 1
+            self.ordered_batches += 1
+            self.ordered_items += len(entry.items)
+            for item in entry.items:
+                self._ordered_ids.add(item.request_id)
+                self.pending.pop(item.request_id, None)
+            self.on_ordered(seq, entry.items)
+            if self.config.auto_advance_view:
+                self._advance_view_after_batch(seq)
+            if seq % self.config.checkpoint_interval == 0:
+                self._emit_checkpoint(seq)
+
+    # ----------------------------------------------------------- checkpoints
+    def _emit_checkpoint(self, seq: int) -> None:
+        digest = Digest(("ckpt", self.instance, seq))
+        key = (seq, digest)
+        if not self.silent:
+            msg = Checkpoint(
+                self.replica, self.instance, seq, digest, MacAuthenticator(self.replica)
+            )
+            cost = self.costs.authenticator_gen(DIGEST_SIZE, self.config.n - 1)
+            self.core.submit(cost, self.transport.broadcast, msg)
+            if self._checkpoint_votes.add(key, self.replica):
+                self._stabilize(seq)
+
+    def _on_checkpoint(self, msg: Checkpoint) -> None:
+        key = (msg.seq, msg.digest)
+        if self._checkpoint_votes.add(key, msg.sender):
+            self._stabilize(msg.seq)
+            return
+        # Weak certificate: f+1 matching checkpoints contain at least one
+        # correct replica, proving the state at ``seq`` is committed.  A
+        # replica that has fallen a full interval behind state-transfers
+        # up to it rather than waiting for batches that may never re-run
+        # (e.g. when a silent faulty replica leaves the checkpoint quorum
+        # one vote short of 2f+1 without the laggard's own vote).
+        if (
+            not self._checkpoint_votes.complete(key)
+            and self._checkpoint_votes.count(key) > self.config.f
+            and msg.seq >= self.next_exec + self.config.checkpoint_interval
+        ):
+            self._catch_up(msg.seq)
+
+    def _catch_up(self, seq: int) -> None:
+        """State transfer: adopt the service state up to ``seq``."""
+        self.next_exec = seq + 1
+        self.seq_assigned = max(self.seq_assigned, seq)
+        for old_seq in [s for s in self.log if s <= seq]:
+            entry = self.log.pop(old_seq)
+            self._prepare_votes.discard((entry.view, old_seq, entry.digest))
+            self._commit_votes.discard((entry.view, old_seq, entry.digest))
+        self._drain_ordered()
+
+    def _stabilize(self, seq: int) -> None:
+        if seq <= self.low_watermark:
+            return
+        self.low_watermark = seq
+        if self.next_exec <= seq:
+            # State transfer: 2f+1 replicas are past this checkpoint, so
+            # fast-forward rather than wait for garbage-collected batches.
+            self.next_exec = seq + 1
+        for old_seq in [s for s in self.log if s <= seq]:
+            entry = self.log.pop(old_seq)
+            self._prepare_votes.discard((entry.view, old_seq, entry.digest))
+            self._commit_votes.discard((entry.view, old_seq, entry.digest))
+
+    # ---------------------------------------------------------- view change
+    def start_view_change(self, new_view: Optional[int] = None) -> None:
+        """Vote to replace the primary.
+
+        For RBFT instances this is invoked only by the node's instance
+        change mechanism; for Aardvark it is the regular/monitoring view
+        change; for Spinning it implements the merge operation.
+        """
+        new_view = self.view + 1 if new_view is None else new_view
+        if new_view <= self.view or self._vc_voted_for >= new_view or self.silent:
+            return
+        self._vc_voted_for = new_view
+        self.active = False
+        self.batcher.pause()
+        # Report every prepared certificate above the stable checkpoint —
+        # including locally committed ones.  A batch committed anywhere has
+        # prepared certificates at 2f+1 nodes, so any view-change quorum
+        # contains at least one and the new primary must re-propose it at
+        # the same sequence number (PBFT's safety-across-views argument).
+        prepared = {
+            seq: (entry.digest, entry.items)
+            for seq, entry in self.log.items()
+            if entry.prepared
+        }
+        msg = ViewChange(
+            self.replica,
+            self.instance,
+            new_view,
+            self.low_watermark,
+            prepared,
+            MacAuthenticator(self.replica),
+        )
+        cost = self.costs.sig_gen(msg.wire_size())
+        self.core.submit(cost, self.transport.broadcast, msg)
+        self._register_vc(msg)
+
+    def _on_view_change(self, msg: ViewChange) -> None:
+        if msg.new_view <= self.view:
+            return
+        self._register_vc(msg)
+
+    def _register_vc(self, msg: ViewChange) -> None:
+        votes = self._vc_votes.setdefault(msg.new_view, {})
+        votes[msg.sender] = msg
+        # Join a view change once f+1 others demand it (PBFT liveness rule).
+        if (
+            len(votes) > self.config.f
+            and self._vc_voted_for < msg.new_view
+            and msg.new_view > self.view
+        ):
+            self.start_view_change(msg.new_view)
+            votes = self._vc_votes.setdefault(msg.new_view, votes)
+        if len(votes) >= self.config.vc_quorum:
+            if self.primary_index(msg.new_view) == self.index:
+                self._install_view(msg.new_view, announce=True)
+
+    def _on_new_view(self, msg: NewView) -> None:
+        if msg.new_view <= self.view:
+            return
+        if msg.sender != "node%d" % self.primary_index(msg.new_view):
+            return
+        self._install_view(msg.new_view, announce=False, repropose=msg.repropose)
+
+    def _install_view(
+        self,
+        new_view: int,
+        announce: bool,
+        repropose: Optional[Dict[int, Tuple[Digest, Tuple]]] = None,
+    ) -> None:
+        if new_view <= self.view:
+            return
+        if announce:
+            # New primary: merge prepared certificates from the quorum.
+            repropose = {}
+            for vc in self._vc_votes.get(new_view, {}).values():
+                for seq, cert in vc.prepared.items():
+                    if seq > self.low_watermark:
+                        repropose.setdefault(seq, cert)
+            msg = NewView(
+                self.replica,
+                self.instance,
+                new_view,
+                repropose,
+                MacAuthenticator(self.replica),
+            )
+            cost = self.costs.sig_gen(msg.wire_size())
+            self.core.submit(cost, self.transport.broadcast, msg)
+        self.view = new_view
+        self.view_changes += 1
+        self.pending_view = None
+        self.active = True
+        self._vc_voted_for = max(self._vc_voted_for, new_view)
+        for stale in [v for v in self._vc_votes if v <= new_view]:
+            del self._vc_votes[stale]
+        self._waiting_guard = []
+        # Drop uncommitted batches from superseded views: anything without
+        # a prepared certificate in the new-view proof is dead, and its
+        # requests are still pooled for re-proposal.  The new primary then
+        # reuses those sequence numbers, so execution never stalls on them.
+        for seq in [s for s, entry in self.log.items() if not entry.committed]:
+            entry = self.log.pop(seq)
+            self._prepare_votes.discard((entry.view, seq, entry.digest))
+            self._commit_votes.discard((entry.view, seq, entry.digest))
+        if repropose:
+            self._adopt_reproposals(new_view, repropose, announce)
+        if self.is_primary:
+            self._become_primary()
+        else:
+            self.batcher.pause()
+        self._replay_future()
+        self.on_view_entered(new_view)
+
+    def _adopt_reproposals(
+        self, view: int, repropose: Dict[int, Tuple[Digest, Tuple]], as_primary: bool
+    ) -> None:
+        """Re-run the agreement for prepared-but-uncommitted batches."""
+        for seq in sorted(repropose):
+            digest, items = repropose[seq]
+            if seq <= self.low_watermark or seq < self.next_exec:
+                continue
+            self.seq_assigned = max(self.seq_assigned, seq)
+            existing = self.log.get(seq)
+            if existing is not None and existing.committed:
+                continue
+            msg = PrePrepare(
+                "node%d" % self.primary_index(view),
+                self.instance,
+                view,
+                seq,
+                items,
+                digest,
+                batch_payload_size(items, self.config.full_payload),
+                MacAuthenticator(self.replica),
+            )
+            if as_primary:
+                self._record_preprepare(msg)
+            else:
+                self._accept_preprepare(msg)
+
+    def _become_primary(self) -> None:
+        # Continue after the last live sequence number; superseded batches
+        # were dropped at view installation, so their numbers are reused.
+        self.seq_assigned = max(
+            self.low_watermark, self.next_exec - 1, *(list(self.log) or [0])
+        )
+        if self.config.auto_advance_view:
+            # One batch per leadership turn: feeding more than a batch is
+            # wasted work (and O(backlog) per rotation under saturation).
+            budget = self.config.batch_size
+            for item in self.pending.values():
+                if budget == 0:
+                    break
+                if item.request_id not in self._ordered_ids:
+                    self.batcher.add(item)
+                    budget -= 1
+            self.batcher.resume()
+            return
+        self.batcher.resume()
+        for item in list(self.pending.values()):
+            if item.request_id not in self._ordered_ids:
+                self.batcher.add(item)
+
+    def _advance_view_after_batch(self, seq: int) -> None:
+        """Spinning: the primary rotates after every ordered batch."""
+        new_view = self.view + 1
+        self.view = new_view
+        self._vc_voted_for = max(self._vc_voted_for, new_view)
+        if self.is_primary:
+            self._become_primary()
+        else:
+            self.batcher.pause()
+        self._replay_future()
+        self.on_view_entered(new_view)
+
+    # ------------------------------------------------------------ inspection
+    def backlog(self) -> int:
+        """Verified-but-unordered requests at this replica."""
+        return len(self.pending)
+
+    def __repr__(self) -> str:
+        return "OrderingInstance(%s/i%d, view=%d, next=%d)" % (
+            self.replica,
+            self.instance,
+            self.view,
+            self.next_exec,
+        )

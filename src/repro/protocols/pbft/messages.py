@@ -1,0 +1,189 @@
+"""Wire messages of the three-phase ordering protocol (PBFT lineage).
+
+Sizes follow the virtual-payload convention: every message computes its
+own wire footprint so the NIC model charges realistic bandwidth, and the
+cost model charges realistic authentication time over the same bytes.
+
+``instance`` tags which protocol instance a message belongs to: 0 for the
+single-instance baselines, 0..f for RBFT's f+1 concurrent instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.crypto.costmodel import (
+    DIGEST_SIZE,
+    MAC_SIZE,
+    MESSAGE_HEADER_SIZE,
+    SIGNATURE_SIZE,
+)
+from repro.crypto.primitives import Digest, MacAuthenticator
+from repro.net.message import Message
+
+__all__ = [
+    "OrderingMessage",
+    "PrePrepare",
+    "Prepare",
+    "Commit",
+    "Checkpoint",
+    "ViewChange",
+    "NewView",
+    "batch_payload_size",
+]
+
+
+def batch_payload_size(items: Sequence, full: bool) -> int:
+    """Bytes a batch occupies inside an ordering message.
+
+    ``full`` batches carry entire requests (PBFT/Aardvark/Spinning);
+    identifier batches carry (client, rid, digest) triples only — RBFT's
+    optimisation (§IV-B step 2).
+    """
+    if full:
+        return sum(item.wire_size() for item in items)
+    from repro.common.types import RequestIdentifier
+
+    return len(items) * RequestIdentifier.WIRE_SIZE
+
+
+class OrderingMessage(Message):
+    """Base for instance-scoped protocol messages."""
+
+    __slots__ = ("instance", "authenticator")
+
+    def __init__(self, sender: str, instance: int, authenticator: MacAuthenticator):
+        super().__init__(sender)
+        self.instance = instance
+        self.authenticator = authenticator
+
+
+class PrePrepare(OrderingMessage):
+    """Step 3: the primary assigns ``seq`` to a batch in ``view``."""
+
+    __slots__ = ("view", "seq", "items", "digest", "payload_size")
+
+    def __init__(
+        self,
+        sender: str,
+        instance: int,
+        view: int,
+        seq: int,
+        items: Tuple,
+        digest: Digest,
+        payload_size: int,
+        authenticator: MacAuthenticator,
+    ):
+        super().__init__(sender, instance, authenticator)
+        self.view = view
+        self.seq = seq
+        self.items = items
+        self.digest = digest
+        self.payload_size = payload_size
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + self.payload_size + 4 * MAC_SIZE
+
+
+class Prepare(OrderingMessage):
+    """Step 4: a backup echoes the pre-prepare it accepted."""
+
+    __slots__ = ("view", "seq", "digest")
+
+    def __init__(self, sender, instance, view, seq, digest, authenticator):
+        super().__init__(sender, instance, authenticator)
+        self.view = view
+        self.seq = seq
+        self.digest = digest
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + DIGEST_SIZE + 4 * MAC_SIZE
+
+
+class Commit(OrderingMessage):
+    """Step 5: a replica has collected a prepared certificate."""
+
+    __slots__ = ("view", "seq", "digest")
+
+    def __init__(self, sender, instance, view, seq, digest, authenticator):
+        super().__init__(sender, instance, authenticator)
+        self.view = view
+        self.seq = seq
+        self.digest = digest
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + DIGEST_SIZE + 4 * MAC_SIZE
+
+
+class Checkpoint(OrderingMessage):
+    """Periodic state digest used to advance the low watermark."""
+
+    __slots__ = ("seq", "digest")
+
+    def __init__(self, sender, instance, seq, digest, authenticator):
+        super().__init__(sender, instance, authenticator)
+        self.seq = seq
+        self.digest = digest
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + DIGEST_SIZE + 4 * MAC_SIZE
+
+
+class ViewChange(OrderingMessage):
+    """A replica's vote to move to ``new_view``.
+
+    Carries the replica's stable checkpoint and its prepared certificates
+    above it, so the new primary can re-propose anything that may have
+    committed somewhere (PBFT's safety-across-views argument).
+    """
+
+    __slots__ = ("new_view", "last_stable", "prepared")
+
+    def __init__(
+        self,
+        sender: str,
+        instance: int,
+        new_view: int,
+        last_stable: int,
+        prepared: Dict[int, Tuple[Digest, Tuple]],
+        authenticator: MacAuthenticator,
+    ):
+        super().__init__(sender, instance, authenticator)
+        self.new_view = new_view
+        self.last_stable = last_stable
+        self.prepared = prepared
+
+    def wire_size(self) -> int:
+        # one digest per prepared certificate plus a signature-grade proof
+        return (
+            MESSAGE_HEADER_SIZE
+            + len(self.prepared) * (8 + DIGEST_SIZE)
+            + SIGNATURE_SIZE
+            + 4 * MAC_SIZE
+        )
+
+
+class NewView(OrderingMessage):
+    """The new primary's installation message for ``new_view``."""
+
+    __slots__ = ("new_view", "repropose")
+
+    def __init__(
+        self,
+        sender: str,
+        instance: int,
+        new_view: int,
+        repropose: Dict[int, Tuple[Digest, Tuple]],
+        authenticator: MacAuthenticator,
+    ):
+        super().__init__(sender, instance, authenticator)
+        self.new_view = new_view
+        self.repropose = repropose
+
+    def wire_size(self) -> int:
+        return (
+            MESSAGE_HEADER_SIZE
+            + len(self.repropose) * (8 + DIGEST_SIZE)
+            + SIGNATURE_SIZE
+            + 4 * MAC_SIZE
+        )

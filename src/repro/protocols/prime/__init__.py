@@ -1,0 +1,28 @@
+"""Prime: pre-ordering plus periodic monitored ordering."""
+
+from .messages import (
+    PoAck,
+    PoRequest,
+    PrimeEcho,
+    PrimeMessage,
+    PrimeOrder,
+    PrimePing,
+    PrimePong,
+    PrimeReady,
+    PrimeSuspect,
+)
+from .node import PrimeConfig, PrimeNode
+
+__all__ = [
+    "PrimeConfig",
+    "PrimeNode",
+    "PoAck",
+    "PoRequest",
+    "PrimeEcho",
+    "PrimeMessage",
+    "PrimeOrder",
+    "PrimePing",
+    "PrimePong",
+    "PrimeReady",
+    "PrimeSuspect",
+]

@@ -1,0 +1,157 @@
+"""Prime wire messages.
+
+Prime (Amir et al., DSN 2008) relies on **signatures everywhere** — the
+property the RBFT paper blames for its low throughput and high latency
+(§VI-B).  Every message below therefore carries a signature and its
+verification is charged at signature cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.crypto.costmodel import DIGEST_SIZE, MESSAGE_HEADER_SIZE, SIGNATURE_SIZE
+from repro.crypto.primitives import Signature
+from repro.net.message import Message
+
+__all__ = [
+    "PrimeMessage",
+    "PoRequest",
+    "PoAck",
+    "PrimeOrder",
+    "PrimeEcho",
+    "PrimeReady",
+    "PrimePing",
+    "PrimePong",
+    "PrimeSuspect",
+]
+
+
+class PrimeMessage(Message):
+    """Base: a signed Prime protocol message."""
+
+    __slots__ = ("signature",)
+
+    def __init__(self, sender: str, signature: Signature):
+        super().__init__(sender)
+        self.signature = signature
+
+
+class PoRequest(PrimeMessage):
+    """Pre-ordering: a replica disseminates a bundle of client requests."""
+
+    __slots__ = ("bundle_id", "requests")
+
+    def __init__(self, sender, bundle_id: int, requests: Tuple, signature):
+        super().__init__(sender, signature)
+        self.bundle_id = bundle_id
+        self.requests = requests
+
+    def wire_size(self) -> int:
+        return (
+            MESSAGE_HEADER_SIZE
+            + sum(r.wire_size() for r in self.requests)
+            + SIGNATURE_SIZE
+        )
+
+
+class PoAck(PrimeMessage):
+    """Acknowledgement that a bundle was received and verified."""
+
+    __slots__ = ("originator", "bundle_id")
+
+    def __init__(self, sender, originator: str, bundle_id: int, signature):
+        super().__init__(sender, signature)
+        self.originator = originator
+        self.bundle_id = bundle_id
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + DIGEST_SIZE + SIGNATURE_SIZE
+
+
+class PrimeOrder(PrimeMessage):
+    """The primary's periodic ordering message.
+
+    Carries a cumulative coverage vector: for each originator, the
+    highest bundle id included in the global order so far.
+    """
+
+    __slots__ = ("view", "seq", "vector")
+
+    def __init__(self, sender, view: int, seq: int, vector: Dict[str, int], signature):
+        super().__init__(sender, signature)
+        self.view = view
+        self.seq = seq
+        self.vector = vector
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + 12 * max(1, len(self.vector)) + SIGNATURE_SIZE
+
+
+class PrimeEcho(PrimeMessage):
+    """Second phase: replicas echo the ordering message they accepted."""
+
+    __slots__ = ("view", "seq", "digest")
+
+    def __init__(self, sender, view, seq, digest, signature):
+        super().__init__(sender, signature)
+        self.view = view
+        self.seq = seq
+        self.digest = digest
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + DIGEST_SIZE + SIGNATURE_SIZE
+
+
+class PrimeReady(PrimeMessage):
+    """Third phase: commit votes for an ordering message."""
+
+    __slots__ = ("view", "seq", "digest")
+
+    def __init__(self, sender, view, seq, digest, signature):
+        super().__init__(sender, signature)
+        self.view = view
+        self.seq = seq
+        self.digest = digest
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + DIGEST_SIZE + SIGNATURE_SIZE
+
+
+class PrimePing(PrimeMessage):
+    """RTT measurement probe (the network-monitoring part of §III-A)."""
+
+    __slots__ = ("nonce",)
+
+    def __init__(self, sender, nonce: int, signature):
+        super().__init__(sender, signature)
+        self.nonce = nonce
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + 8 + SIGNATURE_SIZE
+
+
+class PrimePong(PrimeMessage):
+    """RTT measurement response."""
+
+    __slots__ = ("nonce",)
+
+    def __init__(self, sender, nonce: int, signature):
+        super().__init__(sender, signature)
+        self.nonce = nonce
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + 8 + SIGNATURE_SIZE
+
+
+class PrimeSuspect(PrimeMessage):
+    """A replica's vote that the primary of ``view`` is too slow."""
+
+    __slots__ = ("view",)
+
+    def __init__(self, sender, view: int, signature):
+        super().__init__(sender, signature)
+        self.view = view
+
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_SIZE + 8 + SIGNATURE_SIZE

@@ -1,0 +1,5 @@
+"""Spinning: BFT with a primary rotating after every batch."""
+
+from .node import SpinningConfig, SpinningNode
+
+__all__ = ["SpinningConfig", "SpinningNode"]

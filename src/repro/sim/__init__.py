@@ -1,0 +1,19 @@
+"""Discrete-event simulation kernel: clock, events, processes, cores, RNG."""
+
+from .engine import AllOf, AnyOf, Event, Handle, Interrupt, Process, Simulator, Timeout
+from .resources import Core, CoreSet
+from .rng import RngTree
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Handle",
+    "Interrupt",
+    "Process",
+    "Simulator",
+    "Timeout",
+    "Core",
+    "CoreSet",
+    "RngTree",
+]

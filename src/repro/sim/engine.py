@@ -1,0 +1,330 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small and fast: a binary-heap event queue, a
+virtual clock, cancellable timer handles, and generator-based processes in
+the style of SimPy.  Protocol actors in this repository are mostly
+callback-driven (they schedule work on :class:`repro.sim.resources.Core`
+objects), while load generators and attack scripts are written as
+generator processes.
+
+Determinism: the queue breaks time ties with a monotonically increasing
+sequence number, so two runs with the same seed replay the exact same
+schedule.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Handle",
+    "Simulator",
+    "AllOf",
+    "AnyOf",
+]
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another actor interrupted."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Handle:
+    """A cancellable reference to a scheduled callback."""
+
+    __slots__ = ("_sim", "time", "fn", "args", "cancelled", "done")
+
+    def __init__(self, sim: "Simulator", time: float, fn: Callable, args: tuple):
+        self._sim = sim
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.done = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Safe to call multiple times."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled and not self.done
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.done = True
+        self.fn(*self.args)
+
+
+class Event:
+    """A one-shot occurrence other actors can wait on.
+
+    An event is *triggered* exactly once, either with :meth:`succeed` or
+    :meth:`fail`.  Callbacks registered before triggering fire when the
+    event is processed; callbacks registered afterwards fire immediately.
+    """
+
+    __slots__ = ("sim", "callbacks", "triggered", "ok", "value")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self.triggered = False
+        self.ok = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.ok = True
+        self.value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.ok = False
+        self.value = exception
+        self.sim._schedule_event(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run immediately, preserving causal order.
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+
+class Timeout(Event):
+    """An event that succeeds after a fixed virtual-time delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError("negative timeout delay: %r" % delay)
+        super().__init__(sim)
+        self.triggered = True
+        self.ok = True
+        self.value = value
+        sim._schedule_event(self, delay)
+
+
+class AllOf(Event):
+    """Succeeds when every child event has succeeded.
+
+    Fails fast with the first child failure.
+    """
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        self._pending = len(events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for event in events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(None)
+
+
+class AnyOf(Event):
+    """Succeeds when the first child event triggers."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        for event in events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed(event)
+        else:
+            self.fail(event.value)
+
+
+class Process(Event):
+    """A generator coroutine driven by the events it yields.
+
+    The wrapped generator yields :class:`Event` objects; the process
+    resumes when each yielded event triggers.  The process itself is an
+    event that succeeds with the generator's return value, so processes
+    can wait on each other.
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # Start on the next queue drain, at the current time.
+        sim.call_after(0.0, self._resume, None)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if self.triggered:
+            return
+        waiting = self._waiting_on
+        self._waiting_on = None
+        if waiting is not None and waiting.callbacks is not None:
+            try:
+                waiting.callbacks.remove(self._on_event)
+            except ValueError:
+                pass
+        self.sim.call_after(0.0, self._throw, Interrupt(cause))
+
+    def _on_event(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wake-up after an interrupt
+        self._waiting_on = None
+        if event.ok:
+            self._resume(event.value)
+        else:
+            self._throw(event.value)
+
+    def _resume(self, value: Any) -> None:
+        if self.triggered:
+            return
+        try:
+            target = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            raise
+        self._wait_for(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        try:
+            target = self._gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        self._wait_for(target)
+
+    def _wait_for(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            raise TypeError(
+                "process %r yielded %r; processes must yield Event objects"
+                % (self.name, target)
+            )
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+
+class Simulator:
+    """The event loop: a virtual clock plus a time-ordered callback heap."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._running = False
+
+    # ------------------------------------------------------------- scheduling
+    def call_at(self, time: float, fn: Callable, *args: Any) -> Handle:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self.now:
+            raise ValueError(
+                "cannot schedule in the past: %r < now=%r" % (time, self.now)
+            )
+        handle = Handle(self, time, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        return handle
+
+    def call_after(self, delay: float, fn: Callable, *args: Any) -> Handle:
+        """Schedule ``fn(*args)`` after a relative delay."""
+        return self.call_at(self.now + delay, fn, *args)
+
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    # -------------------------------------------------------------- factories
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------- loop
+    def run(self, until: Optional[float] = None) -> None:
+        """Drain the queue until empty or until the clock passes ``until``.
+
+        When ``until`` is given the clock is left exactly at ``until`` even
+        if the queue drained early, so successive ``run`` calls compose.
+        """
+        if self._running:
+            raise RuntimeError("simulator is already running")
+        self._running = True
+        heap = self._heap
+        try:
+            while heap:
+                time, _seq, item = heap[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(heap)
+                self.now = time
+                if isinstance(item, Event):
+                    item._process()
+                else:
+                    item._fire()
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+
+    def peek(self) -> Optional[float]:
+        """Return the time of the next pending item, or None."""
+        return self._heap[0][0] if self._heap else None
+
+    def __repr__(self) -> str:
+        return "Simulator(now=%g, pending=%d)" % (self.now, len(self._heap))

@@ -1,0 +1,125 @@
+"""Unit tests for workload profiles and the load generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clients import (
+    LoadGenerator,
+    OpenLoopClient,
+    dynamic_profile,
+    static_profile,
+)
+from repro.common import Cluster, ClusterConfig
+from repro.sim import RngTree, Simulator
+
+
+def build_clients(n=3):
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=1))
+    clients = [OpenLoopClient(cluster, "client%d" % i) for i in range(n)]
+    return sim, cluster, clients
+
+
+def test_static_profile_constant_rate_and_clients():
+    profile = static_profile(1000.0, duration=2.0, clients=7)
+    assert profile.rate(0.0) == 1000.0
+    assert profile.rate(1.9) == 1000.0
+    assert profile.active(1.0) == 7
+    assert profile.duration == 2.0
+
+
+def test_dynamic_profile_matches_paper_phases():
+    """§VI-A: 1 client, ramp to 10, spike at 50, ramp back down to 1."""
+    profile = dynamic_profile(per_client_rate=100.0, duration=10.0)
+    assert profile.active(0.0) == 1
+    assert profile.active(3.5) == 10  # plateau before the spike
+    assert profile.active(5.0) == 50  # the spike
+    assert profile.active(6.5) == 10  # plateau after the spike
+    assert profile.active(9.99) <= 2  # ramped back down
+    assert profile.rate(5.0) == 50 * 100.0
+
+
+def test_dynamic_profile_monotone_ramp_up():
+    profile = dynamic_profile(per_client_rate=1.0, duration=10.0)
+    counts = [profile.active(t) for t in [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 2.9]]
+    assert counts == sorted(counts)
+
+
+def test_generator_approximates_offered_rate():
+    sim, cluster, clients = build_clients()
+    generator = LoadGenerator(
+        sim, clients, static_profile(2000.0, 1.0), RngTree(1).stream("load")
+    )
+    generator.start()
+    sim.run(until=1.0)
+    assert generator.generated == pytest.approx(2000, rel=0.15)
+    assert generator.total_sent() == generator.generated
+
+
+def test_generator_round_robins_over_active_clients():
+    sim, cluster, clients = build_clients(n=3)
+    generator = LoadGenerator(
+        sim, clients, static_profile(300.0, 1.0, clients=3),
+        RngTree(2).stream("load"),
+    )
+    generator.start()
+    sim.run(until=1.0)
+    sents = [client.sent for client in clients]
+    assert max(sents) - min(sents) <= 1
+
+
+def test_generator_deterministic_per_seed():
+    def run(seed):
+        sim, cluster, clients = build_clients()
+        generator = LoadGenerator(
+            sim, clients, static_profile(500.0, 0.5), RngTree(seed).stream("load")
+        )
+        generator.start()
+        sim.run(until=0.5)
+        return generator.generated
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+def test_generator_stops_at_profile_end():
+    sim, cluster, clients = build_clients()
+    generator = LoadGenerator(
+        sim, clients, static_profile(1000.0, 0.3), RngTree(3).stream("load")
+    )
+    generator.start()
+    sim.run(until=1.0)
+    generated_at_end = generator.generated
+    sim.run(until=2.0)
+    assert generator.generated == generated_at_end
+
+
+def test_send_kwargs_forwarded():
+    sim, cluster, clients = build_clients()
+    generator = LoadGenerator(
+        sim, clients, static_profile(100.0, 0.2), RngTree(4).stream("load"),
+        send_kwargs={"mac_invalid_for": ["node0"]},
+    )
+    captured = []
+    cluster.machines[0].handler = captured.append
+    generator.start()
+    sim.run(until=0.3)
+    assert captured
+    assert all(not m.request.authenticator.valid_for("node0") for m in captured)
+
+
+def test_empty_client_pool_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        LoadGenerator(sim, [], static_profile(1.0, 1.0), RngTree(0).stream("x"))
+
+
+@given(duration=st.floats(min_value=1.0, max_value=50.0))
+@settings(max_examples=25)
+def test_dynamic_profile_scales_to_any_duration(duration):
+    profile = dynamic_profile(per_client_rate=10.0, duration=duration)
+    assert profile.active(0.0) == 1
+    assert profile.active(duration * 0.5) == 50
+    assert 1 <= profile.active(duration * 0.999) <= 10
+    assert profile.rate(duration * 0.5) == 500.0

@@ -1,0 +1,97 @@
+"""Unit tests for the request batcher."""
+
+import pytest
+
+from repro.common import Batcher
+from repro.sim import Simulator
+
+
+def make(sim, max_size=3, max_delay=1.0):
+    batches = []
+    batcher = Batcher(sim, max_size, max_delay, batches.append)
+    return batcher, batches
+
+
+def test_flushes_when_full():
+    sim = Simulator()
+    batcher, batches = make(sim, max_size=2)
+    batcher.add("a")
+    batcher.add("b")
+    assert batches == [["a", "b"]]
+
+
+def test_flushes_on_timer_when_not_full():
+    sim = Simulator()
+    batcher, batches = make(sim, max_size=10, max_delay=0.5)
+    batcher.add("a")
+    assert batches == []
+    sim.run()
+    assert batches == [["a"]]
+    assert sim.now == pytest.approx(0.5)
+
+
+def test_timer_measured_from_first_item():
+    sim = Simulator()
+    batcher, batches = make(sim, max_size=10, max_delay=1.0)
+    sim.call_after(0.0, batcher.add, "a")
+    sim.call_after(0.9, batcher.add, "b")
+    sim.run()
+    assert batches == [["a", "b"]]
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_full_flush_cancels_timer():
+    sim = Simulator()
+    batcher, batches = make(sim, max_size=2, max_delay=5.0)
+    batcher.add("a")
+    batcher.add("b")
+    sim.run()
+    assert batches == [["a", "b"]]
+    assert sim.now < 5.0 or sim.peek() is None
+
+
+def test_pause_holds_items():
+    sim = Simulator()
+    batcher, batches = make(sim, max_size=2)
+    batcher.pause()
+    for item in "abcde":
+        batcher.add(item)
+    sim.run(until=10.0)
+    assert batches == []
+    assert batcher.pending == 5
+
+
+def test_resume_drains_backlog_in_batches():
+    sim = Simulator()
+    batcher, batches = make(sim, max_size=2, max_delay=0.5)
+    batcher.pause()
+    for item in "abcde":
+        batcher.add(item)
+    batcher.resume()
+    assert batches == [["a", "b"], ["c", "d"]]
+    sim.run()
+    assert batches[-1] == ["e"]
+
+
+def test_counters():
+    sim = Simulator()
+    batcher, _ = make(sim, max_size=2)
+    for item in "abcd":
+        batcher.add(item)
+    assert batcher.flushed_batches == 2
+    assert batcher.flushed_items == 4
+
+
+def test_invalid_parameters():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Batcher(sim, 0, 1.0, lambda b: None)
+    with pytest.raises(ValueError):
+        Batcher(sim, 1, -1.0, lambda b: None)
+
+
+def test_empty_flush_is_noop():
+    sim = Simulator()
+    batcher, batches = make(sim)
+    batcher.flush()
+    assert batches == []

@@ -1,0 +1,62 @@
+"""Property-based tests for the batcher and blacklists."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import Batcher
+from repro.crypto import BoundedBlacklist
+from repro.sim import Simulator
+
+
+@given(
+    arrivals=st.lists(st.floats(min_value=0, max_value=0.1), min_size=1, max_size=60),
+    max_size=st.integers(1, 10),
+    max_delay=st.floats(min_value=1e-4, max_value=0.05),
+)
+@settings(max_examples=50)
+def test_batcher_loses_and_duplicates_nothing(arrivals, max_size, max_delay):
+    sim = Simulator()
+    flushed = []
+    batcher = Batcher(sim, max_size, max_delay, flushed.extend)
+    for i, at in enumerate(sorted(arrivals)):
+        sim.call_at(at, batcher.add, i)
+    sim.run()
+    assert flushed == sorted(flushed)  # FIFO
+    assert flushed == list(range(len(arrivals)))  # nothing lost/duplicated
+
+
+@given(
+    arrivals=st.integers(1, 100),
+    max_size=st.integers(1, 10),
+)
+@settings(max_examples=30)
+def test_batches_never_exceed_max_size(arrivals, max_size):
+    sim = Simulator()
+    batches = []
+    batcher = Batcher(sim, max_size, 1e-3, batches.append)
+    for i in range(arrivals):
+        batcher.add(i)
+    sim.run()
+    assert all(len(batch) <= max_size for batch in batches)
+    assert sum(len(batch) for batch in batches) == arrivals
+
+
+@given(
+    bans=st.lists(st.sampled_from("abcdefgh"), max_size=60),
+    capacity=st.integers(0, 5),
+)
+def test_bounded_blacklist_never_exceeds_capacity(bans, capacity):
+    blacklist = BoundedBlacklist(capacity)
+    for replica in bans:
+        blacklist.ban(replica)
+        assert len(blacklist) <= capacity
+    # The most recent distinct bans are the ones retained.
+    if capacity > 0 and bans:
+        distinct_recent = []
+        for replica in reversed(bans):
+            if replica not in distinct_recent:
+                distinct_recent.append(replica)
+            if len(distinct_recent) == capacity:
+                break
+        for replica in distinct_recent:
+            assert blacklist.banned(replica)

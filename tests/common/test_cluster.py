@@ -1,0 +1,130 @@
+"""Unit tests for cluster wiring."""
+
+import pytest
+
+from repro.common import Cluster, ClusterConfig
+from repro.net import Message
+from repro.sim import Simulator
+
+
+class Ping(Message):
+    pass
+
+
+def test_cluster_size_is_3f_plus_1():
+    assert ClusterConfig(f=1).n == 4
+    assert ClusterConfig(f=2).n == 7
+
+
+def test_machines_fully_connected():
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=1))
+    for machine in cluster.machines:
+        peers = set(machine.channels_to_nodes)
+        assert peers == set(cluster.node_names()) - {machine.name}
+
+
+def test_separate_nics_per_peer_plus_client_nic():
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=1, separate_nics=True))
+    machine = cluster.machines[0]
+    # 3 peer NICs + 1 client NIC = 3f+1 NICs, as in §V.
+    assert len(machine.peer_nics) == 3
+    assert machine.client_nic not in machine.peer_nics.values()
+
+
+def test_shared_nic_mode():
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=1, separate_nics=False))
+    machine = cluster.machines[0]
+    nics = {channel.src_nic for channel in machine.channels_to_nodes.values()}
+    assert len(nics) == 1
+    assert machine.client_nic in nics
+
+
+def test_node_to_node_delivery():
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=1))
+    got = []
+    cluster.machines[1].handler = got.append
+    cluster.machines[0].send_to_node("node1", Ping("node0"))
+    sim.run()
+    assert len(got) == 1
+    assert got[0].sender == "node0"
+
+
+def test_broadcast_reaches_all_other_nodes():
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=1))
+    got = {name: [] for name in cluster.node_names()}
+    for machine in cluster.machines:
+        machine.handler = got[machine.name].append
+    cluster.machines[2].broadcast_to_nodes(Ping("node2"))
+    sim.run()
+    assert len(got["node2"]) == 0
+    assert all(len(got["node%d" % i]) == 1 for i in (0, 1, 3))
+
+
+def test_client_roundtrip():
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=1))
+    port = cluster.add_client("client0")
+    at_node = []
+    cluster.machines[0].handler = at_node.append
+    at_client = []
+    port.handler = at_client.append
+
+    port.send_to_node("node0", Ping("client0"))
+    sim.run()
+    assert len(at_node) == 1
+    cluster.machines[0].send_to_client("client0", Ping("node0"))
+    sim.run()
+    assert len(at_client) == 1
+
+
+def test_client_broadcast():
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=1))
+    port = cluster.add_client("client0")
+    counts = []
+    for machine in cluster.machines:
+        machine.handler = counts.append
+    port.broadcast(Ping("client0"))
+    sim.run()
+    assert len(counts) == 4
+
+
+def test_duplicate_client_name_rejected():
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=1))
+    cluster.add_client("client0")
+    with pytest.raises(ValueError):
+        cluster.add_client("client0")
+
+
+def test_unrouted_messages_counted_not_raised():
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=1))
+    cluster.machines[0].send_to_node("node1", Ping("node0"))
+    sim.run()
+    assert cluster.machines[1].dropped_unrouted == 1
+
+
+def test_machine_lookup():
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=1))
+    assert cluster.machine("node2").name == "node2"
+
+
+def test_udp_shared_nic_broadcast_is_multicast():
+    sim = Simulator()
+    cluster = Cluster(
+        sim, ClusterConfig(f=1, tcp=False, separate_nics=False)
+    )
+    machine = cluster.machines[0]
+    for other in cluster.machines[1:]:
+        other.handler = lambda m: None
+    msg = Ping("node0")
+    machine.broadcast_to_nodes(msg)
+    # One transmission charged on the shared NIC, not three.
+    assert machine._shared_nic.msgs_tx == 1

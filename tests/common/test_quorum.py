@@ -1,0 +1,81 @@
+"""Unit tests for quorum tracking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import QuorumTracker, quorum_size, weak_quorum_size
+
+
+def test_quorum_sizes():
+    assert quorum_size(1) == 3
+    assert quorum_size(2) == 5
+    assert weak_quorum_size(1) == 2
+    assert weak_quorum_size(2) == 3
+
+
+def test_fires_exactly_once_at_threshold():
+    tracker = QuorumTracker(3)
+    assert not tracker.add("k", "a")
+    assert not tracker.add("k", "b")
+    assert tracker.add("k", "c")
+    assert not tracker.add("k", "d")  # after completion: no second firing
+
+
+def test_duplicate_senders_do_not_advance():
+    tracker = QuorumTracker(2)
+    assert not tracker.add("k", "a")
+    assert not tracker.add("k", "a")
+    assert not tracker.add("k", "a")
+    assert tracker.count("k") == 1
+    assert tracker.add("k", "b")
+
+
+def test_keys_are_independent():
+    tracker = QuorumTracker(2)
+    tracker.add("k1", "a")
+    assert tracker.count("k2") == 0
+    tracker.add("k2", "a")
+    assert tracker.add("k1", "b")
+    assert not tracker.complete("k2")
+
+
+def test_discard_forgets_key():
+    tracker = QuorumTracker(2)
+    tracker.add("k", "a")
+    tracker.add("k", "b")
+    assert tracker.complete("k")
+    tracker.discard("k")
+    assert not tracker.complete("k")
+    assert tracker.count("k") == 0
+
+
+def test_threshold_one_fires_immediately():
+    tracker = QuorumTracker(1)
+    assert tracker.add("k", "a")
+
+
+def test_invalid_threshold():
+    with pytest.raises(ValueError):
+        QuorumTracker(0)
+
+
+@given(
+    votes=st.lists(
+        st.tuples(st.integers(0, 3), st.sampled_from("abcdefg")), max_size=60
+    ),
+    threshold=st.integers(1, 5),
+)
+def test_property_fires_once_iff_enough_distinct_senders(votes, threshold):
+    tracker = QuorumTracker(threshold)
+    fired = {}
+    seen = {}
+    for key, sender in votes:
+        completed = tracker.add(key, sender)
+        seen.setdefault(key, set()).add(sender)
+        if completed:
+            assert key not in fired, "quorum fired twice"
+            fired[key] = True
+            assert len(seen[key]) >= threshold
+    for key, senders in seen.items():
+        assert (key in fired) == (len(senders) >= threshold)

@@ -1,0 +1,75 @@
+"""Unit tests for replicated services."""
+
+import pytest
+
+from repro.common import KeyValueService, NullService
+from repro.crypto import MacAuthenticator, Signature
+from repro.common.types import Request
+
+
+def make_request(rid=1, exec_cost=None):
+    return Request(
+        client="c0",
+        rid=rid,
+        payload_size=8,
+        signature=Signature("c0"),
+        authenticator=MacAuthenticator("c0"),
+        exec_cost=exec_cost,
+    )
+
+
+def test_null_service_counts_executions():
+    service = NullService()
+    result, size = service.apply(make_request())
+    assert result == "ok"
+    assert size == 8
+    assert service.executed == 1
+
+
+def test_exec_cost_default_and_override():
+    service = NullService(exec_cost=1e-4)
+    assert service.exec_cost(make_request()) == 1e-4
+    # Heavy request (Prime attack, §III-A): 1 ms instead of 0.1 ms.
+    assert service.exec_cost(make_request(exec_cost=1e-3)) == 1e-3
+
+
+def test_kv_put_get_roundtrip():
+    service = KeyValueService()
+    put = make_request(rid=1)
+    service.register_op(put.request_id, ("put", "k", "v"))
+    assert service.apply(put)[0] == "stored"
+
+    get = make_request(rid=2)
+    service.register_op(get.request_id, ("get", "k"))
+    assert service.apply(get)[0] == "v"
+
+
+def test_kv_get_missing_returns_none():
+    service = KeyValueService()
+    get = make_request(rid=1)
+    service.register_op(get.request_id, ("get", "nope"))
+    assert service.apply(get)[0] is None
+
+
+def test_kv_delete():
+    service = KeyValueService()
+    put = make_request(rid=1)
+    service.register_op(put.request_id, ("put", "k", "v"))
+    service.apply(put)
+    delete = make_request(rid=2)
+    service.register_op(delete.request_id, ("delete", "k"))
+    assert service.apply(delete)[0] is True
+    assert "k" not in service.store
+
+
+def test_kv_unknown_op_raises():
+    service = KeyValueService()
+    bad = make_request(rid=1)
+    service.register_op(bad.request_id, ("frobnicate",))
+    with pytest.raises(ValueError):
+        service.apply(bad)
+
+
+def test_kv_unregistered_request_is_noop_ok():
+    service = KeyValueService()
+    assert service.apply(make_request())[0] == "ok"

@@ -1,0 +1,61 @@
+"""RBFTConfig validation."""
+
+import pytest
+
+from repro.core import RBFTConfig
+
+
+def test_defaults_are_valid():
+    config = RBFTConfig()
+    assert config.n == 4
+    assert config.instances == 2
+    assert config.master == 0
+
+
+def test_f_zero_rejected():
+    with pytest.raises(ValueError, match="f >= 1"):
+        RBFTConfig(f=0)
+
+
+def test_delta_bounds():
+    with pytest.raises(ValueError, match="Δ"):
+        RBFTConfig(delta=0.0)
+    with pytest.raises(ValueError, match="Δ"):
+        RBFTConfig(delta=1.5)
+    RBFTConfig(delta=1.0)  # inclusive upper bound is fine
+
+
+def test_latency_thresholds_must_be_positive():
+    with pytest.raises(ValueError):
+        RBFTConfig(lambda_max=0.0)
+    with pytest.raises(ValueError):
+        RBFTConfig(omega=-1.0)
+
+
+def test_monitoring_period_positive():
+    with pytest.raises(ValueError):
+        RBFTConfig(monitoring_period=0.0)
+
+
+def test_batch_size_positive():
+    with pytest.raises(ValueError):
+        RBFTConfig(batch_size=0)
+
+
+def test_core_budget_enforced():
+    # f=3 needs 4 + 4 = 8 cores: exactly fits the 8-core default.
+    RBFTConfig(f=3)
+    # f=4 needs 9: rejected on the paper's hardware.
+    with pytest.raises(ValueError, match="cores"):
+        RBFTConfig(f=4)
+    # ...but allowed on a bigger simulated machine.
+    RBFTConfig(f=4, cores_per_machine=16)
+
+
+def test_instance_config_inherits_choices():
+    config = RBFTConfig(f=2, batch_size=32, order_full_requests=True)
+    instance = config.instance_config()
+    assert instance.f == 2
+    assert instance.batch_size == 32
+    assert instance.full_payload
+    assert not instance.auto_advance_view

@@ -1,0 +1,127 @@
+"""Unit tests of the InstanceMonitor (§IV-C)."""
+
+import pytest
+
+from repro.core import RBFTConfig
+from repro.core.monitoring import InstanceMonitor
+from repro.sim import Simulator
+
+
+def make_monitor(**overrides):
+    sim = Simulator()
+    defaults = dict(
+        f=1, monitoring_period=1.0, delta=0.9, lambda_max=1.0, omega=0.5,
+        min_monitor_requests=10,
+    )
+    defaults.update(overrides)
+    config = RBFTConfig(**defaults)
+    triggers = []
+    monitor = InstanceMonitor(sim, config, triggers.append)
+    return sim, monitor, triggers
+
+
+def tick_at(sim, monitor, t):
+    sim.call_at(t, monitor.tick)
+    sim.run(until=t)
+
+
+def test_balanced_instances_never_trigger():
+    sim, monitor, triggers = make_monitor()
+    for t in range(1, 5):
+        monitor.count_ordered(0, 1000)
+        monitor.count_ordered(1, 1000)
+        tick_at(sim, monitor, float(t))
+    assert triggers == []
+    assert monitor.last_rates == [1000.0, 1000.0]
+
+
+def test_slow_master_triggers_after_two_windows():
+    sim, monitor, triggers = make_monitor()
+    monitor.count_ordered(0, 100)
+    monitor.count_ordered(1, 1000)
+    tick_at(sim, monitor, 1.0)
+    assert triggers == []  # one breach is tolerated (noise damping)
+    monitor.count_ordered(0, 100)
+    monitor.count_ordered(1, 1000)
+    tick_at(sim, monitor, 2.0)
+    assert triggers == ["throughput-delta"]
+
+
+def test_breach_streak_resets_on_recovery():
+    sim, monitor, triggers = make_monitor()
+    monitor.count_ordered(0, 100)
+    monitor.count_ordered(1, 1000)
+    tick_at(sim, monitor, 1.0)
+    monitor.count_ordered(0, 1000)  # recovered
+    monitor.count_ordered(1, 1000)
+    tick_at(sim, monitor, 2.0)
+    monitor.count_ordered(0, 100)  # breach again: streak restarted
+    monitor.count_ordered(1, 1000)
+    tick_at(sim, monitor, 3.0)
+    assert triggers == []
+
+
+def test_idle_windows_skip_ratio_test():
+    sim, monitor, triggers = make_monitor(min_monitor_requests=50)
+    for t in range(1, 4):
+        monitor.count_ordered(0, 0)
+        monitor.count_ordered(1, 5)  # 5 requests < 50: too little signal
+        tick_at(sim, monitor, float(t))
+    assert triggers == []
+
+
+def test_lambda_violation_triggers_immediately():
+    sim, monitor, triggers = make_monitor(lambda_max=0.1)
+    monitor.check_request_latency("client0", 0.2)
+    assert triggers == ["latency-lambda"]
+
+
+def test_lambda_ok_no_trigger():
+    sim, monitor, triggers = make_monitor(lambda_max=0.1)
+    monitor.check_request_latency("client0", 0.05)
+    assert triggers == []
+
+
+def test_omega_compares_master_vs_backups_per_client():
+    sim, monitor, triggers = make_monitor(omega=0.1, lambda_max=10.0)
+    # Master latency far above the backups' for the same client.
+    monitor.record_latency(0, "c0", 0.5)
+    monitor.record_latency(1, "c0", 0.1)
+    monitor.check_request_latency("c0", 0.5)
+    assert triggers == ["latency-omega"]
+
+
+def test_omega_needs_backup_samples():
+    sim, monitor, triggers = make_monitor(omega=0.1, lambda_max=10.0)
+    monitor.record_latency(0, "c0", 0.9)
+    monitor.check_request_latency("c0", 0.9)
+    assert triggers == []  # no backup data: no Ω comparison possible
+
+
+def test_latency_windows_reset_on_tick():
+    sim, monitor, triggers = make_monitor(omega=0.1, lambda_max=10.0)
+    monitor.record_latency(0, "c0", 0.9)
+    monitor.record_latency(1, "c0", 0.1)
+    tick_at(sim, monitor, 1.0)
+    # After the window reset, the old skewed samples are gone.
+    monitor.record_latency(0, "c0", 0.1)
+    monitor.record_latency(1, "c0", 0.1)
+    monitor.check_request_latency("c0", 0.1)
+    assert triggers == []
+
+
+def test_observes_breach_expires():
+    sim, monitor, triggers = make_monitor(lambda_max=0.1, monitoring_period=1.0)
+    monitor.check_request_latency("c0", 0.5)
+    assert monitor.observes_breach()
+    sim.run(until=5.0)
+    assert not monitor.observes_breach()
+
+
+def test_rate_series_records_every_window():
+    sim, monitor, _ = make_monitor()
+    for t in range(1, 4):
+        monitor.count_ordered(0, 100 * t)
+        monitor.count_ordered(1, 100 * t)
+        tick_at(sim, monitor, float(t))
+    assert [r for _, r in monitor.rate_series[0]] == [100.0, 200.0, 300.0]

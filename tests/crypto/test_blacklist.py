@@ -1,0 +1,53 @@
+"""Unit tests for blacklists."""
+
+from repro.crypto import BoundedBlacklist, ClientBlacklist
+
+
+def test_client_blacklist_bans_persistently():
+    blacklist = ClientBlacklist()
+    assert not blacklist.banned("c1")
+    blacklist.ban("c1")
+    assert blacklist.banned("c1")
+    assert not blacklist.banned("c2")
+    assert len(blacklist) == 1
+
+
+def test_bounded_blacklist_holds_up_to_capacity():
+    blacklist = BoundedBlacklist(2)
+    assert blacklist.ban("r0") is None
+    assert blacklist.ban("r1") is None
+    assert blacklist.banned("r0") and blacklist.banned("r1")
+
+
+def test_bounded_blacklist_evicts_oldest():
+    # Spinning: with f entries present, the oldest is removed (liveness).
+    blacklist = BoundedBlacklist(2)
+    blacklist.ban("r0")
+    blacklist.ban("r1")
+    evicted = blacklist.ban("r2")
+    assert evicted == "r0"
+    assert not blacklist.banned("r0")
+    assert blacklist.banned("r1") and blacklist.banned("r2")
+
+
+def test_reban_refreshes_position():
+    blacklist = BoundedBlacklist(2)
+    blacklist.ban("r0")
+    blacklist.ban("r1")
+    blacklist.ban("r0")  # refresh r0: r1 is now oldest
+    evicted = blacklist.ban("r2")
+    assert evicted == "r1"
+
+
+def test_zero_capacity_never_stores():
+    blacklist = BoundedBlacklist(0)
+    assert blacklist.ban("r0") == "r0"
+    assert not blacklist.banned("r0")
+    assert len(blacklist) == 0
+
+
+def test_negative_capacity_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        BoundedBlacklist(-1)

@@ -1,0 +1,57 @@
+"""Unit tests for the crypto cost model."""
+
+import pytest
+
+from repro.crypto import DEFAULT_COST_MODEL, DIGEST_SIZE, CryptoCostModel
+
+
+def test_signatures_cost_an_order_of_magnitude_more_than_macs():
+    model = DEFAULT_COST_MODEL
+    # §VI-B: "signatures are an order of magnitude more costly than MACs".
+    assert model.sig_verify(8) >= 10 * model.mac_verify(8)
+    assert model.sig_gen(8) >= 10 * model.mac_gen(8)
+
+
+def test_costs_grow_with_payload_size():
+    model = DEFAULT_COST_MODEL
+    assert model.mac_gen(4096) > model.mac_gen(8)
+    assert model.digest(4096) > model.digest(8)
+    assert model.sig_verify(4096) > model.sig_verify(8)
+
+
+def test_authenticator_is_one_digest_plus_per_recipient_macs():
+    model = DEFAULT_COST_MODEL
+    n = 4
+    expected = model.digest(1000) + n * model.mac_gen(DIGEST_SIZE)
+    assert model.authenticator_gen(1000, n) == pytest.approx(expected)
+
+
+def test_authenticator_verify_checks_single_entry():
+    model = DEFAULT_COST_MODEL
+    expected = model.digest(1000) + model.mac_verify(DIGEST_SIZE)
+    assert model.authenticator_verify(1000) == pytest.approx(expected)
+
+
+def test_authenticator_cheaper_than_per_recipient_full_macs():
+    # This asymmetry is why ordering identifiers beats ordering requests.
+    model = DEFAULT_COST_MODEL
+    assert model.authenticator_gen(4096, 3) < 3 * model.mac_gen(4096)
+
+
+def test_scaled_model_preserves_ratios():
+    model = DEFAULT_COST_MODEL
+    slow = model.scaled(10.0)
+    assert slow.mac_gen(100) == pytest.approx(10 * model.mac_gen(100))
+    ratio = model.sig_verify(8) / model.mac_verify(8)
+    slow_ratio = slow.sig_verify(8) / slow.mac_verify(8)
+    assert slow_ratio == pytest.approx(ratio)
+
+
+def test_model_is_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_COST_MODEL.mac_base = 0.0  # type: ignore[misc]
+
+
+def test_custom_model():
+    model = CryptoCostModel(mac_base=1.0, hash_per_byte=0.0)
+    assert model.mac_gen(10_000) == 1.0

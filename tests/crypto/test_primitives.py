@@ -1,0 +1,42 @@
+"""Unit tests for virtual crypto objects."""
+
+from repro.crypto import Digest, Mac, MacAuthenticator, Signature
+
+
+def test_digest_structural_equality():
+    assert Digest(("client1", 4)) == Digest(("client1", 4))
+    assert Digest(("client1", 4)) != Digest(("client1", 5))
+
+
+def test_digest_is_hashable():
+    seen = {Digest("a"), Digest("a"), Digest("b")}
+    assert len(seen) == 2
+
+
+def test_mac_validity_flag():
+    assert Mac("node0").valid
+    assert not Mac("node0", valid=False).valid
+
+
+def test_authenticator_default_valid_for_everyone():
+    auth = MacAuthenticator("node1")
+    assert auth.valid_for("node0")
+    assert auth.valid_for("node3")
+    assert auth.valid_for_any()
+
+
+def test_authenticator_selective_corruption():
+    # worst-attack-1: valid for everyone except the master primary's node.
+    auth = MacAuthenticator("client7", invalid_for=frozenset({"node0"}))
+    assert not auth.valid_for("node0")
+    assert auth.valid_for("node1")
+
+
+def test_fully_corrupt_authenticator():
+    auth = MacAuthenticator.corrupt("node3")
+    assert not auth.valid_for_any()
+
+
+def test_signature_convinces_everyone_or_no_one():
+    assert Signature("client2").valid
+    assert not Signature("client2", valid=False).valid

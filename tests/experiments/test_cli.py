@@ -1,0 +1,37 @@
+"""Tests for the command-line interface (wiring, not physics)."""
+
+import pytest
+
+from repro.experiments.cli import COMMANDS, main
+
+
+def test_every_figure_has_a_command():
+    expected = {"table1", "fig1", "fig2", "fig3", "fig7", "fig8", "fig9",
+                "fig10", "fig11", "fig12"}
+    assert set(COMMANDS) == expected
+
+
+def test_missing_command_exits_with_usage():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_fig9_runs_end_to_end(capsys, monkeypatch):
+    # The smallest real command: one monitored run.
+    monkeypatch.delenv("RBFT_FULL", raising=False)
+    assert main(["fig9", "--payload", "1024"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 9" in out
+    assert "master=" in out
+
+
+def test_fig12_runs_end_to_end(capsys):
+    assert main(["fig12"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 12" in out
+    assert "instance change" in out

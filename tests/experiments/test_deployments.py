@@ -1,0 +1,63 @@
+"""Tests for the deployment builders."""
+
+import pytest
+
+from repro.core import RBFTConfig
+from repro.experiments import (
+    build_aardvark,
+    build_pbft,
+    build_prime,
+    build_rbft,
+    build_spinning,
+)
+
+
+def test_rbft_deployment_shape():
+    dep = build_rbft(RBFTConfig(f=1), n_clients=3)
+    assert len(dep.nodes) == 4
+    assert len(dep.clients) == 3
+    assert all(len(node.engines) == 2 for node in dep.nodes)
+    assert dep.cluster.config.tcp
+
+
+def test_rbft_udp_deployment():
+    dep = build_rbft(RBFTConfig(f=1), tcp=False)
+    assert not dep.cluster.config.tcp
+
+
+def test_spinning_uses_udp_shared_nic():
+    dep = build_spinning()
+    assert not dep.cluster.config.tcp
+    assert not dep.cluster.config.separate_nics
+
+
+def test_aardvark_and_pbft_use_tcp_separate_nics():
+    for dep in (build_aardvark(), build_pbft()):
+        assert dep.cluster.config.tcp
+        assert dep.cluster.config.separate_nics
+
+
+def test_prime_deployment():
+    dep = build_prime(n_clients=2)
+    assert len(dep.nodes) == 4
+    assert dep.nodes[0].is_primary
+
+
+def test_deployment_helpers():
+    dep = build_pbft(n_clients=2)
+    assert dep.node(1).name == "node1"
+    assert dep.total_executed() == 0
+    assert dep.total_completed() == 0
+
+
+def test_seed_controls_rng():
+    a = build_pbft(seed=1).rng.stream("x").random()
+    b = build_pbft(seed=1).rng.stream("x").random()
+    c = build_pbft(seed=2).rng.stream("x").random()
+    assert a == b != c
+
+
+def test_clients_have_requested_payload():
+    dep = build_rbft(RBFTConfig(f=1), n_clients=1, payload=2048)
+    request = dep.clients[0].send_request()
+    assert request.payload_size == 2048

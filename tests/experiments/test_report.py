@@ -1,0 +1,44 @@
+"""Tests for the report formatters."""
+
+from repro.experiments.report import (
+    format_attack_rows,
+    format_curve,
+    format_monitoring_view,
+    format_table1,
+)
+
+
+def test_format_attack_rows():
+    text = format_attack_rows(
+        "Fig X", [{"size": 8, "static_pct": 97.5, "dynamic_pct": 100.0}],
+        paper_note="note",
+    )
+    assert "Fig X" in text
+    assert "note" in text
+    assert "8 B" in text
+    assert "97.5" in text
+
+
+def test_format_curve():
+    text = format_curve(
+        "Curve", [{"offered": 1000.0, "throughput": 900.0, "latency_ms": 1.25}]
+    )
+    assert "Curve" in text
+    assert "1.25" in text
+    assert "0.9" in text  # kreq/s
+
+
+def test_format_monitoring_view():
+    text = format_monitoring_view(
+        "View", {"node0": [5000.0, 5100.0], "node1": [5000.0, 5100.0]}
+    )
+    assert "node0" in text and "node1" in text
+    assert "master=5.00" in text
+    assert "backup1=5.10" in text
+
+
+def test_format_table1():
+    text = format_table1({"prime": 60.0, "aardvark": 75.0, "spinning": 94.0})
+    assert "Prime" in text and "Spinning" in text
+    assert "94.0" in text
+    assert "paper" in text

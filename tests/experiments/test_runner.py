@@ -1,0 +1,88 @@
+"""Tests for the experiment runner (fast paths)."""
+
+import pytest
+
+from repro.experiments import (
+    QUICK,
+    ScenarioScale,
+    current_scale,
+    make_deployment,
+    run_static,
+)
+from repro.experiments.runner import _attack_for, _capacity_cache, probe_capacity
+
+FAST = ScenarioScale(
+    name="test",
+    duration=0.2,
+    warmup=0.05,
+    probe_duration=0.1,
+    sizes=(8,),
+    rate_points=2,
+    monitoring_period=0.05,
+    aardvark_grace=0.1,
+    aardvark_period=0.02,
+)
+
+
+def test_all_variants_build():
+    for protocol in (
+        "rbft",
+        "rbft-udp",
+        "rbft-full-order",
+        "aardvark",
+        "aardvark-no-vc",
+        "spinning",
+        "prime",
+        "pbft",
+    ):
+        dep = make_deployment(protocol, 8, FAST)
+        assert len(dep.nodes) == 4
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(ValueError):
+        make_deployment("zyzzyva", 8, FAST)
+
+
+def test_full_order_variant_orders_whole_requests():
+    dep = make_deployment("rbft-full-order", 8, FAST)
+    assert all(e.config.full_payload for n in dep.nodes for e in n.engines)
+    dep = make_deployment("rbft", 8, FAST)
+    assert all(not e.config.full_payload for n in dep.nodes for e in n.engines)
+
+
+def test_no_vc_variant_has_huge_grace():
+    dep = make_deployment("aardvark-no-vc", 8, FAST)
+    assert dep.nodes[0].aconfig.grace_period > 1e6
+
+
+def test_attack_name_resolution():
+    assert _attack_for("prime", None) is None
+    assert _attack_for("prime", "default") == "prime"
+    assert _attack_for("rbft", "default") is None  # no default RBFT attack
+    assert _attack_for("rbft", "rbft-worst1") == "rbft-worst1"
+
+
+def test_probe_capacity_cached():
+    _capacity_cache.clear()
+    first = probe_capacity("pbft", 8, FAST)
+    assert ("pbft", 8, 1, 20e-6, "test") in _capacity_cache
+    second = probe_capacity("pbft", 8, FAST)
+    assert first == second
+
+
+def test_run_static_returns_populated_result():
+    result = run_static("pbft", 8, rate=2000.0, scale=FAST)
+    assert result.protocol == "pbft"
+    assert result.payload == 8
+    assert result.offered_rate == 2000.0
+    assert result.executed_rate > 1000.0
+    assert result.completed > 0
+    assert result.mean_latency > 0
+
+
+def test_current_scale_reads_environment(monkeypatch):
+    monkeypatch.delenv("RBFT_FULL", raising=False)
+    assert current_scale().name == "quick"
+    monkeypatch.setenv("RBFT_FULL", "1")
+    assert current_scale().name == "full"

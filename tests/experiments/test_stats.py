@@ -1,0 +1,38 @@
+"""Tests for multi-seed statistics."""
+
+import pytest
+
+from repro.experiments.stats import seed_sweep
+
+
+def test_sweep_runs_each_seed_once():
+    calls = []
+    result = seed_sweep(lambda seed: calls.append(seed) or float(seed), seeds=(3, 5, 7))
+    assert calls == [3, 5, 7]
+    assert result.values == [3.0, 5.0, 7.0]
+    assert result.mean == pytest.approx(5.0)
+
+
+def test_sweep_summary_statistics():
+    result = seed_sweep(lambda seed: 10.0, seeds=(0, 1))
+    assert result.mean == 10.0
+    assert result.stdev == 0.0
+    assert "10.00 ± 0.00" in str(result)
+
+
+def test_sweep_over_real_runs_is_reproducible():
+    from repro.experiments import ScenarioScale, run_static
+
+    scale = ScenarioScale(
+        name="t", duration=0.15, warmup=0.05, probe_duration=0.1,
+        sizes=(8,), rate_points=2, monitoring_period=0.05,
+        aardvark_grace=0.1, aardvark_period=0.02,
+    )
+
+    def measure(seed):
+        return run_static("pbft", 8, rate=2000.0, scale=scale, seed=seed).executed_rate
+
+    first = seed_sweep(measure, seeds=(0, 1))
+    second = seed_sweep(measure, seeds=(0, 1))
+    assert first.values == second.values
+    assert first.values[0] != first.values[1]  # seeds genuinely differ

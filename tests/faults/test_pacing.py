@@ -1,0 +1,72 @@
+"""Unit tests for the batch pacer used by smart attackers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import BatchPacer
+from repro.sim import Simulator
+
+
+def test_first_batch_goes_immediately():
+    sim = Simulator()
+    pacer = BatchPacer(sim, lambda: 100.0)
+    assert pacer.delay_for(10) == 0.0
+
+
+def test_subsequent_batches_are_spaced_by_rate():
+    sim = Simulator()
+    pacer = BatchPacer(sim, lambda: 100.0)
+    pacer.delay_for(10)  # horizon moves to 0.1
+    assert pacer.delay_for(10) == pytest.approx(0.1)
+    assert pacer.delay_for(10) == pytest.approx(0.2)
+
+
+def test_elapsed_time_consumes_the_horizon():
+    sim = Simulator()
+    pacer = BatchPacer(sim, lambda: 100.0)
+    pacer.delay_for(10)
+    sim.call_after(0.1, lambda: None)
+    sim.run()
+    assert pacer.delay_for(10) == pytest.approx(0.0)
+
+
+def test_zero_rate_means_no_delay():
+    sim = Simulator()
+    pacer = BatchPacer(sim, lambda: 0.0)
+    assert pacer.delay_for(64) == 0.0
+    assert pacer.delay_for(64) == 0.0
+
+
+def test_adaptive_rate_is_sampled_per_batch():
+    sim = Simulator()
+    rates = [100.0, 200.0]
+    pacer = BatchPacer(sim, lambda: rates[0])
+    pacer.delay_for(10)
+    rates[0] = 200.0
+    # Second gap uses the new rate: 10/200 = 0.05 after the first 0.1.
+    assert pacer.delay_for(10) == pytest.approx(0.1)
+    assert pacer.delay_for(10) == pytest.approx(0.1 + 0.05)
+
+
+def test_reset_clears_horizon():
+    sim = Simulator()
+    pacer = BatchPacer(sim, lambda: 10.0)
+    pacer.delay_for(100)
+    pacer.reset()
+    assert pacer.delay_for(1) == 0.0
+
+
+@given(
+    batches=st.lists(st.integers(1, 100), min_size=1, max_size=50),
+    rate=st.floats(min_value=1.0, max_value=1e5),
+)
+@settings(max_examples=50)
+def test_property_long_run_rate_never_exceeds_target(batches, rate):
+    """Total items / horizon span respects the target rate."""
+    sim = Simulator()
+    pacer = BatchPacer(sim, lambda: rate)
+    for items in batches:
+        pacer.delay_for(items)
+    span = pacer._next_send_at - 0.0
+    assert span * rate >= sum(batches) * (1 - 1e-9)

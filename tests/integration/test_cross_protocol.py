@@ -1,0 +1,115 @@
+"""Cross-protocol integration tests.
+
+The same workload runs against every protocol; the invariants that must
+hold everywhere (completion, agreement, deduplication) are checked in
+one place.
+"""
+
+import pytest
+
+from repro.clients import LoadGenerator, static_profile
+from repro.experiments import ScenarioScale, make_deployment
+
+FAST = ScenarioScale(
+    name="it",
+    duration=0.4,
+    warmup=0.1,
+    probe_duration=0.1,
+    sizes=(8,),
+    rate_points=2,
+    monitoring_period=0.05,
+    aardvark_grace=0.2,
+    aardvark_period=0.05,
+)
+
+PROTOCOLS = ("rbft", "rbft-udp", "aardvark", "spinning", "prime", "pbft")
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_moderate_load_completes_everywhere(protocol):
+    dep = make_deployment(protocol, 8, FAST, n_clients=6)
+    generator = LoadGenerator(
+        dep.sim, dep.clients, static_profile(1500.0, 0.4), dep.rng.stream("load")
+    )
+    generator.start()
+    dep.sim.run(until=0.8)
+    assert generator.total_completed() >= 0.97 * generator.total_sent()
+    executed = [node.executed_count for node in dep.nodes]
+    assert max(executed) - min(executed) <= 0.05 * max(executed) + 5
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_single_silent_replica_tolerated(protocol):
+    dep = make_deployment(protocol, 8, FAST, n_clients=4)
+    node = dep.nodes[2]  # never the initial primary
+    if protocol == "prime":
+        node.silent = True
+    elif hasattr(node, "engines"):  # RBFT: silence all local replicas
+        for engine in node.engines:
+            engine.silent = True
+    else:
+        node.engine.silent = True
+    generator = LoadGenerator(
+        dep.sim, dep.clients, static_profile(800.0, 0.4), dep.rng.stream("load")
+    )
+    generator.start()
+    dep.sim.run(until=1.0)
+    assert generator.total_completed() >= 0.95 * generator.total_sent()
+
+
+@pytest.mark.parametrize("protocol", ("rbft", "aardvark", "spinning", "pbft"))
+def test_larger_payloads_flow_end_to_end(protocol):
+    dep = make_deployment(protocol, 4096, FAST, n_clients=4)
+    generator = LoadGenerator(
+        dep.sim, dep.clients, static_profile(500.0, 0.4), dep.rng.stream("load")
+    )
+    generator.start()
+    dep.sim.run(until=0.8)
+    assert generator.total_completed() >= 0.95 * generator.total_sent()
+
+
+@pytest.mark.parametrize("protocol", ("rbft", "aardvark", "pbft"))
+def test_f2_clusters_work(protocol):
+    dep = make_deployment(protocol, 8, FAST, f=2, n_clients=4)
+    assert len(dep.nodes) == 7
+    generator = LoadGenerator(
+        dep.sim, dep.clients, static_profile(800.0, 0.4), dep.rng.stream("load")
+    )
+    generator.start()
+    dep.sim.run(until=0.8)
+    assert generator.total_completed() >= 0.95 * generator.total_sent()
+
+
+def test_rbft_latency_close_to_pbft_fault_free():
+    """RBFT's redundancy must not cost much latency at low load."""
+    latencies = {}
+    for protocol in ("rbft", "pbft"):
+        dep = make_deployment(protocol, 8, FAST, n_clients=2)
+        generator = LoadGenerator(
+            dep.sim, dep.clients, static_profile(200.0, 0.4),
+            dep.rng.stream("load"),
+        )
+        generator.start()
+        dep.sim.run(until=0.6)
+        latencies[protocol] = generator.mean_latency()
+    assert latencies["rbft"] < 3 * latencies["pbft"]
+
+
+def test_spinning_rotation_does_not_reorder():
+    dep = make_deployment("spinning", 8, FAST, n_clients=4)
+    orders = {node.name: [] for node in dep.nodes}
+    for node in dep.nodes:
+        original = node._on_ordered
+
+        def spy(seq, items, _orig=original, _name=node.name):
+            orders[_name].extend(item.request_id for item in items)
+            _orig(seq, items)
+
+        node.engine.on_ordered = spy
+    generator = LoadGenerator(
+        dep.sim, dep.clients, static_profile(2000.0, 0.3), dep.rng.stream("load")
+    )
+    generator.start()
+    dep.sim.run(until=0.6)
+    sequences = list(orders.values())
+    assert all(seq == sequences[0] for seq in sequences)

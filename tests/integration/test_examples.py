@@ -1,0 +1,38 @@
+"""Smoke tests: the example scripts must keep working."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "60/60 requests completed" in out
+
+
+def test_kv_store_runs(capsys):
+    run_example("kv_store.py")
+    out = capsys.readouterr().out
+    assert "all replicas converged" in out
+
+
+def test_unfair_primary_runs(capsys):
+    run_example("unfair_primary.py")
+    out = capsys.readouterr().out
+    assert "instance change" in out
+
+
+@pytest.mark.slow
+def test_promotion_demo_runs(capsys):
+    run_example("promotion_demo.py")
+    out = capsys.readouterr().out
+    assert "promotion" in out

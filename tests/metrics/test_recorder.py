@@ -1,0 +1,85 @@
+"""Unit tests for measurement instruments."""
+
+import pytest
+
+from repro.metrics import (
+    LatencyRecorder,
+    ThroughputMeter,
+    TimeSeries,
+    WindowedCounter,
+    summarize,
+)
+from repro.sim import Simulator
+
+
+def test_windowed_counter_take_resets_window_not_total():
+    counter = WindowedCounter()
+    counter.add()
+    counter.add(2)
+    assert counter.take() == 3
+    assert counter.take() == 0
+    counter.add()
+    assert counter.total == 4
+
+
+def test_throughput_meter_total_rate():
+    sim = Simulator()
+    meter = ThroughputMeter(sim)
+    sim.call_after(1.0, meter.add, 10)
+    sim.run(until=2.0)
+    assert meter.total_rate() == pytest.approx(5.0)
+
+
+def test_throughput_meter_rate_since_mark():
+    sim = Simulator()
+    meter = ThroughputMeter(sim)
+    sim.call_after(1.0, meter.add, 100)
+    sim.call_after(2.0, meter.mark)
+    sim.call_after(3.0, meter.add, 10)
+    sim.run(until=4.0)
+    assert meter.rate_since(2.0) == pytest.approx(5.0)
+
+
+def test_throughput_meter_zero_elapsed():
+    sim = Simulator()
+    meter = ThroughputMeter(sim)
+    assert meter.rate_since(0.0) == 0.0
+
+
+def test_latency_recorder_mean_and_percentiles():
+    recorder = LatencyRecorder()
+    for value in [1.0, 2.0, 3.0, 4.0]:
+        recorder.record(value)
+    assert recorder.mean() == pytest.approx(2.5)
+    assert recorder.median() == pytest.approx(2.5)
+    assert recorder.percentile(0.0) == 1.0
+    assert recorder.percentile(1.0) == 4.0
+    assert len(recorder) == 4
+
+
+def test_latency_recorder_empty_is_safe():
+    recorder = LatencyRecorder()
+    assert recorder.mean() == 0.0
+    assert recorder.percentile(0.9) == 0.0
+
+
+def test_time_series_accumulates_points():
+    series = TimeSeries("latency")
+    series.append(0.0, 1.0)
+    series.append(1.0, 2.0)
+    assert series.times() == [0.0, 1.0]
+    assert series.values() == [1.0, 2.0]
+    assert len(series) == 2
+
+
+def test_summarize():
+    stats = summarize([1.0, 3.0])
+    assert stats["mean"] == 2.0
+    assert stats["min"] == 1.0
+    assert stats["max"] == 3.0
+    assert stats["stdev"] == pytest.approx(1.0)
+    assert stats["n"] == 2
+
+
+def test_summarize_empty():
+    assert summarize([])["n"] == 0

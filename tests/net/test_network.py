@@ -1,0 +1,145 @@
+"""Unit tests for channels and the network fabric."""
+
+import random
+
+import pytest
+
+from repro.net import GIGABIT_BPS, LinkProfile, Message, Network, NIC
+from repro.sim import Simulator
+
+
+class Blob(Message):
+    __slots__ = ("body_size",)
+
+    def __init__(self, sender, body_size=0):
+        super().__init__(sender)
+        self.body_size = body_size
+
+
+def make_pair(sim, profile=LinkProfile(jitter=0.0), tcp=True, bandwidth=1000.0):
+    network = Network(sim, random.Random(1))
+    inbox = []
+    src_nic = NIC(sim, "src", bandwidth)
+    dst_nic = NIC(sim, "dst", bandwidth)
+    channel = network.connect(
+        "a", "b", src_nic, dst_nic, lambda m: inbox.append((sim.now, m)),
+        profile=profile, tcp=tcp,
+    )
+    return network, channel, inbox
+
+
+def test_delivery_includes_tx_latency_and_rx():
+    sim = Simulator()
+    profile = LinkProfile(latency=0.1, jitter=0.0, tcp_overhead=0.0)
+    _, channel, inbox = make_pair(sim, profile)
+    channel.send(Blob("a", body_size=952))  # wire size 1000 -> 1s tx, 1s rx
+    sim.run()
+    assert len(inbox) == 1
+    assert inbox[0][0] == pytest.approx(2.1)
+
+
+def test_tcp_preserves_fifo_order():
+    sim = Simulator()
+    _, channel, inbox = make_pair(sim)
+    for i in range(20):
+        channel.send(Blob("a", body_size=i))
+    sim.run()
+    assert [m.body_size for _, m in inbox] == list(range(20))
+
+
+def test_tcp_adds_overhead_versus_udp():
+    sim1 = Simulator()
+    profile = LinkProfile(latency=0.0, jitter=0.0, tcp_overhead=0.05)
+    _, tcp_channel, tcp_inbox = make_pair(sim1, profile, tcp=True)
+    tcp_channel.send(Blob("a"))
+    sim1.run()
+
+    sim2 = Simulator()
+    _, udp_channel, udp_inbox = make_pair(sim2, profile, tcp=False)
+    udp_channel.send(Blob("a"))
+    sim2.run()
+
+    assert tcp_inbox[0][0] == pytest.approx(udp_inbox[0][0] + 0.05)
+
+
+def test_udp_loss_drops_messages():
+    sim = Simulator()
+    profile = LinkProfile(jitter=0.0, udp_loss=1.0)
+    _, channel, inbox = make_pair(sim, profile, tcp=False)
+    channel.send(Blob("a"))
+    sim.run()
+    assert inbox == []
+    assert channel.dropped == 1
+
+
+def test_tcp_never_drops_despite_loss_profile():
+    sim = Simulator()
+    profile = LinkProfile(jitter=0.0, udp_loss=1.0)
+    _, channel, inbox = make_pair(sim, profile, tcp=True)
+    channel.send(Blob("a"))
+    sim.run()
+    assert len(inbox) == 1
+
+
+def test_closed_nic_drops_in_hardware():
+    sim = Simulator()
+    _, channel, inbox = make_pair(sim)
+    channel.dst_nic.close(100.0)
+    rx_before = channel.dst_nic.rx_free_at
+    channel.send(Blob("a", body_size=1000))
+    sim.run(until=50.0)
+    assert inbox == []
+    assert channel.dropped == 1
+    # No reception bandwidth consumed: the drop is free for the receiver.
+    assert channel.dst_nic.rx_free_at == rx_before
+    assert channel.dst_nic.dropped_while_closed == 1
+
+
+def test_delivery_resumes_after_nic_reopens():
+    sim = Simulator()
+    _, channel, inbox = make_pair(sim)
+    channel.dst_nic.close(1.0)
+    sim.call_after(2.0, channel.send, Blob("a"))
+    sim.run()
+    assert len(inbox) == 1
+
+
+def test_multicast_charges_sender_once():
+    sim = Simulator()
+    network = Network(sim, random.Random(1))
+    profile = LinkProfile(latency=0.0, jitter=0.0)
+    src_nic = NIC(sim, "src", 1000.0)
+    inboxes = [[], [], []]
+    channels = [
+        network.connect(
+            "a", "b%d" % i, src_nic, NIC(sim, "dst%d" % i, 1000.0),
+            inboxes[i].append, profile=profile, tcp=False,
+        )
+        for i in range(3)
+    ]
+    msg = Blob("a", body_size=952)  # 1000B on the wire
+    Network.multicast(channels, msg)
+    sim.run()
+    assert all(len(inbox) == 1 for inbox in inboxes)
+    # One transmission charged, not three.
+    assert src_nic.bytes_tx == 1000
+    assert src_nic.tx_free_at == pytest.approx(1.0)
+
+
+def test_jitter_is_deterministic_per_seed():
+    def run(seed):
+        sim = Simulator()
+        network = Network(sim, random.Random(seed))
+        times = []
+        src, dst = NIC(sim, "s", GIGABIT_BPS), NIC(sim, "d", GIGABIT_BPS)
+        channel = network.connect(
+            "a", "b", src, dst, lambda m: times.append(sim.now),
+            profile=LinkProfile(jitter=1e-3), tcp=False,
+        )
+        for _ in range(5):
+            channel.send(Blob("a"))
+        sim.run()
+        return times
+
+    assert run(3) == run(3)
+    assert run(3) != run(4)

@@ -1,0 +1,94 @@
+"""Property-based tests of the network model."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import LinkProfile, Message, Network, NIC
+from repro.sim import Simulator
+
+
+class Blob(Message):
+    __slots__ = ("body_size", "tag")
+
+    def __init__(self, sender, body_size, tag):
+        super().__init__(sender)
+        self.body_size = body_size
+        self.tag = tag
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=40),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=50)
+def test_tcp_fifo_holds_for_any_size_mix(sizes, seed):
+    sim = Simulator()
+    network = Network(sim, random.Random(seed))
+    received = []
+    channel = network.connect(
+        "a",
+        "b",
+        NIC(sim, "a", 1e6),
+        NIC(sim, "b", 1e6),
+        lambda m: received.append(m.tag),
+        profile=LinkProfile(jitter=5e-4),
+        tcp=True,
+    )
+    for tag, size in enumerate(sizes):
+        channel.send(Blob("a", size, tag))
+    sim.run()
+    assert received == list(range(len(sizes)))
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=5_000), min_size=1, max_size=30),
+)
+@settings(max_examples=50)
+def test_bandwidth_lower_bounds_delivery_time(sizes):
+    sim = Simulator()
+    network = Network(sim, random.Random(0))
+    done = []
+    bandwidth = 1e5
+    channel = network.connect(
+        "a",
+        "b",
+        NIC(sim, "a", bandwidth),
+        NIC(sim, "b", bandwidth),
+        lambda m: done.append(sim.now),
+        profile=LinkProfile(latency=0.0, jitter=0.0, tcp_overhead=0.0),
+        tcp=True,
+    )
+    for size in sizes:
+        channel.send(Blob("a", size, 0))
+    sim.run()
+    total_bytes = sum(size + 48 for size in sizes)
+    # All bytes must cross the sender NIC and the receiver NIC.
+    assert done[-1] >= total_bytes / bandwidth
+
+
+@given(loss=st.floats(min_value=0.0, max_value=1.0), seed=st.integers(0, 99))
+@settings(max_examples=30)
+def test_udp_loss_rate_is_plausible(loss, seed):
+    sim = Simulator()
+    network = Network(sim, random.Random(seed))
+    received = []
+    channel = network.connect(
+        "a",
+        "b",
+        NIC(sim, "a", 1e9),
+        NIC(sim, "b", 1e9),
+        lambda m: received.append(m),
+        profile=LinkProfile(jitter=0.0, udp_loss=loss),
+        tcp=False,
+    )
+    n = 200
+    for _ in range(n):
+        channel.send(Blob("a", 10, 0))
+    sim.run()
+    assert len(received) + channel.dropped == n
+    if loss == 0.0:
+        assert channel.dropped == 0
+    if loss == 1.0:
+        assert len(received) == 0

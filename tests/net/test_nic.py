@@ -1,0 +1,53 @@
+"""Unit tests for the NIC model."""
+
+import pytest
+
+from repro.net import NIC
+from repro.sim import Simulator
+
+
+def test_transmission_takes_size_over_bandwidth():
+    sim = Simulator()
+    nic = NIC(sim, "n", bandwidth_bytes_per_s=100.0)
+    assert nic.reserve_tx(50) == pytest.approx(0.5)
+
+
+def test_back_to_back_transmissions_queue():
+    sim = Simulator()
+    nic = NIC(sim, "n", bandwidth_bytes_per_s=100.0)
+    nic.reserve_tx(100)
+    assert nic.reserve_tx(100) == pytest.approx(2.0)
+    assert nic.bytes_tx == 200
+    assert nic.msgs_tx == 2
+
+
+def test_rx_reservation_respects_arrival_time():
+    sim = Simulator()
+    nic = NIC(sim, "n", bandwidth_bytes_per_s=100.0)
+    assert nic.reserve_rx(100, arrival=5.0) == pytest.approx(6.0)
+    # A second message arriving during the first reception queues behind it.
+    assert nic.reserve_rx(100, arrival=5.5) == pytest.approx(7.0)
+
+
+def test_close_marks_nic_closed_for_duration():
+    sim = Simulator()
+    nic = NIC(sim, "n", bandwidth_bytes_per_s=100.0)
+    assert not nic.closed
+    nic.close(2.0)
+    assert nic.closed
+    sim.run(until=3.0)
+    assert not nic.closed
+
+
+def test_close_extends_not_shrinks():
+    sim = Simulator()
+    nic = NIC(sim, "n", bandwidth_bytes_per_s=100.0)
+    nic.close(5.0)
+    nic.close(1.0)
+    assert nic.closed_until == 5.0
+
+
+def test_zero_bandwidth_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        NIC(sim, "n", bandwidth_bytes_per_s=0.0)

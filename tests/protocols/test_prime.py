@@ -1,0 +1,150 @@
+"""Tests for the Prime baseline."""
+
+import pytest
+
+from repro.clients import LoadGenerator, OpenLoopClient, static_profile
+from repro.common import Cluster, ClusterConfig, NullService
+from repro.protocols.prime import PrimeConfig, PrimeNode
+from repro.sim import RngTree, Simulator
+
+
+def build_prime(
+    f=1,
+    clients=4,
+    ordering_period=5e-3,
+    k_lat=15e-3,
+    window=192,
+    exec_cost=20e-6,
+    seed=5,
+):
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=f, seed=seed))
+    config = PrimeConfig(
+        f=f, ordering_period=ordering_period, k_lat=k_lat, window=window
+    )
+    nodes = [
+        PrimeNode(machine, config, NullService(exec_cost=exec_cost))
+        for machine in cluster.machines
+    ]
+    ports = [OpenLoopClient(cluster, "client%d" % i) for i in range(clients)]
+    return sim, cluster, nodes, ports
+
+
+def test_single_request_executes_everywhere():
+    sim, cluster, nodes, ports = build_prime()
+    ports[0].send_request()
+    sim.run(until=0.5)
+    assert all(node.executed_count == 1 for node in nodes)
+    assert ports[0].completed == 1
+
+
+def test_latency_dominated_by_ordering_period():
+    sim, cluster, nodes, ports = build_prime(ordering_period=10e-3)
+    for i in range(20):
+        sim.call_after(i * 5e-3, ports[i % 4].send_request)
+    sim.run(until=0.5)
+    # Periodic ordering: latency is on the order of the period, an order
+    # of magnitude above the ~1 ms of the other protocols (§VI-B).
+    assert ports[0].latencies.mean() > 3e-3
+
+
+def test_requests_are_signature_checked():
+    sim, cluster, nodes, ports = build_prime()
+    ports[0].send_request(signature_valid=False)
+    sim.run(until=0.3)
+    assert all(node.executed_count == 0 for node in nodes)
+    assert all(node.blacklist.banned("client0") for node in nodes)
+
+
+def test_nodes_agree_on_execution_order():
+    sim, cluster, nodes, ports = build_prime()
+    orders = {node.name: [] for node in nodes}
+    for node in nodes:
+        original = node._execute_one
+
+        def spy(request, _orig=original, _name=node.name):
+            orders[_name].append(request.request_id)
+            _orig(request)
+
+        node._execute_one = spy
+    for i in range(40):
+        sim.call_after(i * 2e-4, ports[i % 4].send_request)
+    sim.run(until=1.0)
+    sequences = list(orders.values())
+    assert all(len(seq) == 40 for seq in sequences)
+    assert all(seq == sequences[0] for seq in sequences)
+
+
+def test_bundles_preordered_with_2f_acks():
+    sim, cluster, nodes, ports = build_prime()
+    ports[0].send_request()
+    sim.run(until=0.2)
+    originator = nodes[0].originator_of("client0")
+    for node in nodes:
+        assert node.aru[originator] >= 1
+
+
+def test_throughput_sustained_under_load():
+    sim, cluster, nodes, ports = build_prime(clients=8)
+    gen = LoadGenerator(
+        sim,
+        [OpenLoopClient.__new__(OpenLoopClient)] and ports,
+        static_profile(2000, 1.0),
+        RngTree(11).stream("load"),
+    )
+    gen.start()
+    sim.run(until=1.5)
+    assert gen.total_completed() >= 0.95 * gen.total_sent()
+
+
+def test_silent_primary_is_suspected_and_replaced():
+    sim, cluster, nodes, ports = build_prime(k_lat=10e-3)
+    nodes[0].silent = True  # view-0 primary sends no ordering messages
+    for i in range(5):
+        sim.call_after(i * 1e-3, ports[i % 4].send_request)
+    sim.run(until=2.0)
+    assert all(node.view >= 1 for node in nodes[1:])
+    assert all(node.executed_count == 5 for node in nodes[1:])
+
+
+def test_acceptable_delay_tracks_batch_execution_time():
+    sim, cluster, nodes, ports = build_prime()
+    node = nodes[1]
+    base = node.acceptable_order_delay()
+    node.batch_exec_estimate = 50e-3
+    assert node.acceptable_order_delay() == pytest.approx(base + 50e-3)
+
+
+def test_heavy_requests_inflate_the_threshold():
+    """The measurement behind the Prime attack (§III-A)."""
+    sim, cluster, nodes, ports = build_prime(exec_cost=1e-4)
+    before = [node.acceptable_order_delay() for node in nodes]
+    # A colluding client sends heavy 1 ms requests.
+    for i in range(30):
+        sim.call_after(i * 2e-3, lambda: ports[0].send_request(exec_cost=1e-3))
+    sim.run(until=0.5)
+    after = [node.acceptable_order_delay() for node in nodes]
+    assert all(b > a for a, b in zip(before, after))
+
+
+def test_delaying_primary_within_threshold_is_not_suspected():
+    sim, cluster, nodes, ports = build_prime(k_lat=20e-3)
+    # Malicious primary stretches its period to 80% of the threshold.
+    node0 = nodes[0]
+    node0.ordering_period_fn = lambda: 0.8 * node0.acceptable_order_delay()
+    gen = LoadGenerator(
+        sim, ports, static_profile(1000, 1.0), RngTree(13).stream("load")
+    )
+    gen.start()
+    sim.run(until=1.2)
+    assert all(node.view == 0 for node in nodes)  # never caught
+    assert nodes[1].executed_count > 0
+
+
+def test_window_caps_coverage_per_ordering_message():
+    sim, cluster, nodes, ports = build_prime(window=4, ordering_period=20e-3)
+    for i in range(40):
+        sim.call_after(i * 1e-4, ports[i % 4].send_request)
+    sim.run(until=0.060)
+    # With a 4-request window and ~2 periods elapsed, coverage is capped.
+    assert nodes[1].executed_count <= 16

@@ -1,0 +1,129 @@
+"""Unit tests for Prime's internal mechanics."""
+
+import pytest
+
+from repro.common import Cluster, ClusterConfig, NullService
+from repro.protocols.prime import PrimeConfig, PrimeNode
+from repro.sim import Simulator
+
+
+def lone_node(**config_overrides):
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=1))
+    config = PrimeConfig(f=1, **config_overrides)
+    nodes = [PrimeNode(m, config, NullService()) for m in cluster.machines]
+    return sim, nodes
+
+
+def test_originator_assignment_is_deterministic_and_total():
+    sim, nodes = lone_node()
+    node = nodes[0]
+    for client in ("client0", "alice", "bob", "x" * 30):
+        owner = node.originator_of(client)
+        assert owner in {"node0", "node1", "node2", "node3"}
+        assert all(other.originator_of(client) == owner for other in nodes)
+
+
+def test_capped_vector_limits_new_coverage():
+    sim, nodes = lone_node(window=3)
+    node = nodes[0]
+    # Five single-request bundles pre-ordered from node1.
+    from repro.common.types import Request
+    from repro.crypto import MacAuthenticator, Signature
+
+    for bundle_id in range(1, 6):
+        req = Request(
+            client="c", rid=bundle_id, payload_size=8,
+            signature=Signature("c"), authenticator=MacAuthenticator("c"),
+        )
+        node.bundles[("node1", bundle_id)] = (req,)
+    node.aru["node1"] = 5
+    vector = node._capped_vector()
+    assert vector["node1"] == 3  # capped at the window
+
+
+def test_capped_vector_covers_everything_when_under_window():
+    sim, nodes = lone_node(window=100)
+    node = nodes[0]
+    node.bundles[("node2", 1)] = ()
+    node.aru["node2"] = 1
+    assert node._capped_vector()["node2"] == 1
+
+
+def test_acceptable_delay_composition():
+    sim, nodes = lone_node(k_lat=0.02)
+    node = nodes[0]
+    node.rtt_estimate = 0.001
+    node.batch_exec_estimate = 0.005
+    assert node.acceptable_order_delay() == pytest.approx(0.026)
+
+
+def test_rtt_estimate_follows_pong_samples():
+    sim, nodes = lone_node()
+    node = nodes[0]
+    before = node.rtt_estimate
+    node._pings_in_flight[1] = 0.0
+    sim.call_after(0.01, lambda: None)
+    sim.run(until=0.01)
+    from repro.crypto.primitives import Signature
+    from repro.protocols.prime.messages import PrimePong
+
+    node._on_pong(PrimePong("node1", 1, Signature("node1")))
+    assert node.rtt_estimate > before  # 10 ms sample pulled the EWMA up
+
+
+def test_unknown_pong_ignored():
+    sim, nodes = lone_node()
+    node = nodes[0]
+    before = node.rtt_estimate
+    from repro.crypto.primitives import Signature
+    from repro.protocols.prime.messages import PrimePong
+
+    node._on_pong(PrimePong("node1", 999, Signature("node1")))
+    assert node.rtt_estimate == before
+
+
+def test_suspect_quorum_advances_view():
+    sim, nodes = lone_node()
+    node = nodes[1]
+    from repro.crypto.primitives import Signature
+    from repro.protocols.prime.messages import PrimeSuspect
+
+    node._on_suspect(PrimeSuspect("node2", 0, Signature("node2")))
+    node._on_suspect(PrimeSuspect("node3", 0, Signature("node3")))
+    assert node.view == 0  # 2 < 2f+1
+    node._on_suspect(PrimeSuspect("node0", 0, Signature("node0")))
+    assert node.view == 1
+    assert node.primary_name() == "node1"
+
+
+def test_stale_suspects_ignored():
+    sim, nodes = lone_node()
+    node = nodes[1]
+    node.view = 3
+    from repro.crypto.primitives import Signature
+    from repro.protocols.prime.messages import PrimeSuspect
+
+    for sender in ("node0", "node2", "node3"):
+        node._on_suspect(PrimeSuspect(sender, 1, Signature(sender)))
+    assert node.view == 3
+
+
+def test_primary_rotates_with_view():
+    sim, nodes = lone_node()
+    node = nodes[0]
+    assert node.is_primary
+    node._install_view(1)
+    assert not node.is_primary
+    assert node.primary_name() == "node1"
+
+
+def test_install_view_resets_ordering_round_state():
+    sim, nodes = lone_node()
+    node = nodes[0]
+    node.seq = 7
+    node._ordered_vectors[3] = {}
+    node._install_view(2)
+    assert node.seq == 0
+    assert node._ordered_vectors == {}
+    assert node.view_changes == 1

@@ -1,0 +1,125 @@
+"""Tests for the Spinning baseline."""
+
+import pytest
+
+from repro.clients import LoadGenerator, OpenLoopClient, static_profile
+from repro.common import Cluster, ClusterConfig, NullService
+from repro.protocols.pbft.engine import InstanceConfig
+from repro.protocols.spinning import SpinningConfig, SpinningNode
+from repro.sim import RngTree, Simulator
+
+
+def build_spinning(f=1, clients=4, s_timeout=40e-3, batch_size=8, seed=4):
+    sim = Simulator()
+    # Spinning uses UDP multicast over a shared NIC (§VI-B).
+    cluster = Cluster(
+        sim, ClusterConfig(f=f, seed=seed, tcp=False, separate_nics=False)
+    )
+    config = SpinningConfig(
+        instance=InstanceConfig(
+            f=f, batch_size=batch_size, batch_delay=5e-4, auto_advance_view=True
+        ),
+        s_timeout=s_timeout,
+    )
+    nodes = [
+        SpinningNode(machine, config, NullService()) for machine in cluster.machines
+    ]
+    ports = [OpenLoopClient(cluster, "client%d" % i) for i in range(clients)]
+    return sim, cluster, nodes, ports
+
+
+def test_orders_and_executes_requests():
+    sim, cluster, nodes, ports = build_spinning()
+    for i in range(20):
+        sim.call_after(i * 1e-4, ports[i % 4].send_request)
+    sim.run(until=0.5)
+    assert all(node.executed_count == 20 for node in nodes)
+
+
+def test_primary_rotates_after_every_batch():
+    sim, cluster, nodes, ports = build_spinning(batch_size=4)
+    for i in range(32):
+        sim.call_after(i * 1e-4, ports[i % 4].send_request)
+    sim.run(until=0.5)
+    # 32 requests / batches of <=4 => at least 8 views consumed.
+    assert all(node.engine.view >= 8 for node in nodes)
+
+
+def test_rotation_visits_all_replicas():
+    sim, cluster, nodes, ports = build_spinning(batch_size=1)
+    leaders = set()
+    node = nodes[0]
+    original = node.engine.on_view_entered
+
+    def spy(view):
+        leaders.add(node.engine.primary_index(view))
+        original(view)
+
+    node.engine.on_view_entered = spy
+    for i in range(20):
+        sim.call_after(i * 1e-3, ports[i % 4].send_request)
+    sim.run(until=0.5)
+    assert leaders == {0, 1, 2, 3}
+
+
+def test_requests_use_macs_only():
+    # A request with an invalid signature but valid MACs is still ordered:
+    # Spinning never checks signatures.
+    sim, cluster, nodes, ports = build_spinning()
+    ports[0].send_request(signature_valid=False)
+    sim.run(until=0.3)
+    assert all(node.executed_count == 1 for node in nodes)
+    assert not any(node.blacklist.banned("client0") for node in nodes)
+
+
+def test_stimeout_blacklists_stalled_primary():
+    sim, cluster, nodes, ports = build_spinning(s_timeout=20e-3)
+    # node0 (first primary) refuses to order anything.
+    nodes[0].engine.silent = True
+    ports[0].send_request()
+    sim.run(until=1.0)
+    for node in nodes[1:]:
+        assert node.replica_blacklist.banned("node0")
+        assert node.merges >= 1
+        assert node.executed_count == 1
+
+
+def test_stimeout_doubles_then_resets():
+    sim, cluster, nodes, ports = build_spinning(s_timeout=20e-3)
+    nodes[0].engine.silent = True
+    ports[0].send_request()
+    sim.run(until=0.1)
+    watcher = nodes[1]
+    assert watcher.current_timeout >= 20e-3  # doubled at least once or reset
+    # After recovery and a successful ordering, the timeout is back to base.
+    sim.run(until=1.0)
+    assert watcher.executed_count == 1
+    assert watcher.current_timeout == pytest.approx(20e-3)
+
+
+def test_blacklisted_replica_skipped_in_rotation():
+    sim, cluster, nodes, ports = build_spinning(batch_size=1)
+    node = nodes[1]
+    node.replica_blacklist.ban("node0")
+    assert node._primary_for_view(0) == 1  # view 0 would be node0: skipped
+    assert node._primary_for_view(4) == 1
+    assert node._primary_for_view(2) == 2
+
+
+def test_blacklist_bounded_to_f():
+    sim, cluster, nodes, ports = build_spinning()
+    node = nodes[0]
+    node.replica_blacklist.ban("node1")
+    node.replica_blacklist.ban("node2")  # f=1: evicts node1
+    assert not node.replica_blacklist.banned("node1")
+    assert node.replica_blacklist.banned("node2")
+
+
+def test_sustained_throughput():
+    sim, cluster, nodes, ports = build_spinning(batch_size=64)
+    gen = LoadGenerator(
+        sim, ports, static_profile(5000, 1.0), RngTree(7).stream("load")
+    )
+    gen.start()
+    sim.run(until=1.3)
+    assert gen.total_completed() >= 0.98 * gen.total_sent()

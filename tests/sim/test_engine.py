@@ -1,0 +1,238 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_call_after_fires_in_order():
+    sim = Simulator()
+    fired = []
+    sim.call_after(2.0, fired.append, "b")
+    sim.call_after(1.0, fired.append, "a")
+    sim.call_after(3.0, fired.append, "c")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_callbacks_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.call_after(1.0, fired.append, i)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    sim.call_after(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.call_at(0.5, lambda: None)
+
+
+def test_handle_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_after(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert not handle.active
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    fired = []
+    sim.call_after(5.0, fired.append, "late")
+    sim.run(until=2.0)
+    assert sim.now == 2.0
+    assert fired == []
+    sim.run()
+    assert fired == ["late"]
+
+
+def test_run_until_advances_clock_when_queue_empty():
+    sim = Simulator()
+    sim.run(until=7.5)
+    assert sim.now == 7.5
+
+
+def test_nested_scheduling():
+    sim = Simulator()
+    times = []
+
+    def outer():
+        times.append(sim.now)
+        sim.call_after(1.0, inner)
+
+    def inner():
+        times.append(sim.now)
+
+    sim.call_after(1.0, outer)
+    sim.run()
+    assert times == [1.0, 2.0]
+
+
+def test_event_succeed_runs_callbacks():
+    sim = Simulator()
+    got = []
+    event = sim.event()
+    event.add_callback(lambda e: got.append(e.value))
+    sim.call_after(1.0, event.succeed, 42)
+    sim.run()
+    assert got == [42]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(RuntimeError):
+        event.succeed(2)
+
+
+def test_callback_added_after_processing_fires_immediately():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed("v")
+    sim.run()
+    got = []
+    event.add_callback(lambda e: got.append(e.value))
+    assert got == ["v"]
+
+
+def test_timeout_value():
+    sim = Simulator()
+    got = []
+    timeout = sim.timeout(3.0, "done")
+    timeout.add_callback(lambda e: got.append((sim.now, e.value)))
+    sim.run()
+    assert got == [(3.0, "done")]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_process_waits_on_timeouts():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append(sim.now)
+        yield sim.timeout(1.5)
+        trace.append(sim.now)
+        yield sim.timeout(2.5)
+        trace.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert trace == [0.0, 1.5, 4.0]
+
+
+def test_process_return_value_propagates():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1.0)
+        return "result"
+
+    results = []
+
+    def parent():
+        value = yield sim.process(child())
+        results.append(value)
+
+    sim.process(parent())
+    sim.run()
+    assert results == ["result"]
+
+
+def test_process_interrupt():
+    sim = Simulator()
+    trace = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+            trace.append("slept")
+        except Interrupt as intr:
+            trace.append(("interrupted", sim.now, intr.cause))
+
+    proc = sim.process(sleeper())
+    sim.call_after(2.0, proc.interrupt, "wake")
+    sim.run()
+    assert trace == [("interrupted", 2.0, "wake")]
+
+
+def test_process_yield_non_event_raises():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.process(bad())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    done = []
+
+    def proc():
+        yield sim.all_of([sim.timeout(1.0), sim.timeout(3.0), sim.timeout(2.0)])
+        done.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert done == [3.0]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    done = []
+
+    def proc():
+        yield sim.any_of([sim.timeout(5.0), sim.timeout(1.0)])
+        done.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert done == [1.0]
+
+
+def test_peek_returns_next_time():
+    sim = Simulator()
+    assert sim.peek() is None
+    sim.call_after(4.0, lambda: None)
+    sim.call_after(2.0, lambda: None)
+    assert sim.peek() == 2.0
+
+
+def test_determinism_same_schedule_twice():
+    def build_and_run():
+        sim = Simulator()
+        trace = []
+
+        def proc(name, delay):
+            for _ in range(3):
+                yield sim.timeout(delay)
+                trace.append((name, sim.now))
+
+        sim.process(proc("a", 1.0))
+        sim.process(proc("b", 0.7))
+        sim.run()
+        return trace
+
+    assert build_and_run() == build_and_run()

@@ -1,0 +1,104 @@
+"""Unit tests for the CPU core model."""
+
+import pytest
+
+from repro.sim import Core, CoreSet, Simulator
+
+
+def test_idle_core_runs_job_after_cost():
+    sim = Simulator()
+    core = Core(sim, "c")
+    done = []
+    core.submit(2.0, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [2.0]
+
+
+def test_jobs_queue_fifo():
+    sim = Simulator()
+    core = Core(sim, "c")
+    done = []
+    core.submit(1.0, done.append, "a")
+    core.submit(1.0, done.append, "b")
+    core.submit(0.5, done.append, "c")
+    sim.run()
+    assert done == ["a", "b", "c"]
+    assert sim.now == 2.5
+
+
+def test_core_becomes_idle_between_bursts():
+    sim = Simulator()
+    core = Core(sim, "c")
+    done = []
+    core.submit(1.0, done.append, None)
+    # Second burst submitted at t=5, well after the first completes.
+    sim.call_after(5.0, core.submit, 1.0, lambda: done.append(sim.now))
+    sim.run()
+    assert sim.now == 6.0
+
+
+def test_charge_accumulates_without_callback():
+    sim = Simulator()
+    core = Core(sim, "c")
+    assert core.charge(3.0) == 3.0
+    assert core.charge(1.0) == 4.0
+    assert core.busy_until == 4.0
+    assert core.jobs == 2
+
+
+def test_queue_delay():
+    sim = Simulator()
+    core = Core(sim, "c")
+    assert core.queue_delay == 0.0
+    core.charge(2.0)
+    assert core.queue_delay == 2.0
+
+
+def test_negative_cost_rejected():
+    sim = Simulator()
+    core = Core(sim, "c")
+    with pytest.raises(ValueError):
+        core.submit(-0.1)
+
+
+def test_utilization_tracks_busy_fraction():
+    sim = Simulator()
+    core = Core(sim, "c")
+    core.charge(2.0)
+    sim.run(until=4.0)
+    assert core.utilization() == pytest.approx(0.5)
+
+
+def test_zero_cost_jobs_preserve_order():
+    sim = Simulator()
+    core = Core(sim, "c")
+    done = []
+    core.submit(0.0, done.append, 1)
+    core.submit(0.0, done.append, 2)
+    sim.run()
+    assert done == [1, 2]
+
+
+def test_coreset_allocates_distinct_cores():
+    sim = Simulator()
+    cores = CoreSet(sim, 4, "node0")
+    a = cores.allocate("verification")
+    b = cores.allocate("propagation")
+    assert a is not b
+    assert cores.allocated == 2
+    assert cores.available == 2
+
+
+def test_coreset_exhaustion_raises():
+    sim = Simulator()
+    cores = CoreSet(sim, 2, "node0")
+    cores.allocate()
+    cores.allocate()
+    with pytest.raises(RuntimeError):
+        cores.allocate("one too many")
+
+
+def test_coreset_requires_positive_count():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        CoreSet(sim, 0)

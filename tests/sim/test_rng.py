@@ -1,0 +1,44 @@
+"""Unit tests for deterministic RNG streams."""
+
+from repro.sim import RngTree
+
+
+def test_same_name_returns_same_stream():
+    tree = RngTree(7)
+    assert tree.stream("arrivals") is tree.stream("arrivals")
+
+
+def test_streams_are_independent_of_creation_order():
+    tree1 = RngTree(7)
+    a_first = [tree1.stream("a").random() for _ in range(5)]
+
+    tree2 = RngTree(7)
+    tree2.stream("b")  # create another stream first
+    a_second = [tree2.stream("a").random() for _ in range(5)]
+
+    assert a_first == a_second
+
+
+def test_different_names_give_different_draws():
+    tree = RngTree(7)
+    a = [tree.stream("a").random() for _ in range(5)]
+    b = [tree.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_different_seeds_give_different_draws():
+    a = RngTree(1).stream("x").random()
+    b = RngTree(2).stream("x").random()
+    assert a != b
+
+
+def test_fork_is_deterministic():
+    a = RngTree(3).fork("node1").stream("jitter").random()
+    b = RngTree(3).fork("node1").stream("jitter").random()
+    assert a == b
+
+
+def test_fork_diverges_from_parent():
+    parent = RngTree(3)
+    child = parent.fork("node1")
+    assert parent.stream("x").random() != child.stream("x").random()
