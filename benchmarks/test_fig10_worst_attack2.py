@@ -7,7 +7,6 @@ throughput loss stays below 3 % with f=1 and below 1 % with f=2.
 
 import os
 
-import pytest
 from conftest import run_once
 
 from repro.experiments import attack_sweep, relative_throughput

@@ -7,7 +7,6 @@ instance change is triggered.
 
 import os
 
-import pytest
 from conftest import run_once
 
 from repro.experiments import attack_sweep, relative_throughput

@@ -31,10 +31,12 @@ class InstanceMonitor:
         sim: Simulator,
         config: RBFTConfig,
         on_trigger: Callable[[str], None],
+        name: str = "monitor",
     ):
         self.sim = sim
         self.config = config
         self.on_trigger = on_trigger
+        self.name = name
         #: which instance is currently the master (mutable: best-backup
         #: promotion re-points it at instance-change time).
         self.master = config.master
@@ -105,6 +107,12 @@ class InstanceMonitor:
             self._lat_sum[k] = {}
             self._lat_count[k] = {}
         master = self.master
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                self.sim.now, "monitor.tick", self.name,
+                rates=list(self.last_rates), master=master,
+            )
         backups = [
             rate for k, rate in enumerate(self.last_rates) if k != master
         ]
@@ -134,6 +142,12 @@ class InstanceMonitor:
     def _trigger(self, reason: str) -> None:
         self.triggers.append((self.sim.now, reason))
         self._breach_at = self.sim.now
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                self.sim.now, "monitor.trigger", self.name,
+                reason=reason, master=self.master,
+            )
         self.on_trigger(reason)
 
     def observes_breach(self) -> bool:

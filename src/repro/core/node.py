@@ -115,7 +115,9 @@ class RBFTNode:
         self.invalid_requests = 0
 
         # Monitoring & instance change (§IV-C, §IV-D) -----------------------
-        self.monitor = InstanceMonitor(sim, config, self._on_monitor_trigger)
+        self.monitor = InstanceMonitor(
+            sim, config, self._on_monitor_trigger, name=self.name
+        )
         self.master_instance = config.master
         self.cpi = 0
         self._voted_choice: Dict[int, int] = {}  # cpi -> preferred master
@@ -187,6 +189,12 @@ class RBFTNode:
     def _receive_request(self, request: Request) -> None:
         if self.blacklist.banned(request.client):
             return
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                self.sim.now, "node.stage", self.name,
+                stage="verification.mac", client=request.client,
+            )
         cost = (
             self.costs.authenticator_verify(request.wire_size())
             + self.config.rx_overhead
@@ -205,6 +213,12 @@ class RBFTNode:
         if request.request_id in self._sig_inflight:
             return  # a signature check for this request is already queued
         self._sig_inflight.add(request.request_id)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                self.sim.now, "node.stage", self.name,
+                stage="verification.sig", client=request.client,
+            )
         cost = self.costs.sig_verify(request.wire_size())
         self.verification_core.submit(cost, self._after_request_signature, request)
 
@@ -223,6 +237,12 @@ class RBFTNode:
             return
         self._propagated.add(request_id)
         self.request_store.setdefault(request_id, request)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                self.sim.now, "node.stage", self.name,
+                stage="propagation", client=request.client,
+            )
         if self.propagate_silent:
             self._register_propagate(request_id, self.name)
         else:
@@ -287,6 +307,12 @@ class RBFTNode:
             return
         self.ready_ids.add(request_id)
         self._given_at[request_id] = self.sim.now
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                self.sim.now, "node.stage", self.name,
+                stage="dispatch", client=request.client,
+            )
         if self.config.order_full_requests:
             item = request  # ablation: instances carry whole requests
         else:
@@ -344,6 +370,12 @@ class RBFTNode:
     def _execute_one(self, request: Request) -> None:
         result, result_size = self.service.apply(request)
         self.executed_count += 1
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                self.sim.now, "node.stage", self.name,
+                stage="execution", client=request.client,
+            )
         reply = Reply(self.name, request.client, request.rid, result, result_size)
         self.reply_cache[request.client] = (request.rid, reply)
         self._send_reply(reply)
@@ -433,6 +465,12 @@ class RBFTNode:
             return
         self.cpi = cpi + 1
         self.instance_changes += 1
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                self.sim.now, "node.instance-change", self.name,
+                cpi=cpi, master=new_master,
+            )
         if (
             self.config.promote_best_backup
             and new_master != self.master_instance

@@ -22,7 +22,9 @@ from .runner import (
     table1,
     unfair_primary_run,
 )
-from .scale import FULL, QUICK, ScenarioScale, current_scale
+from .profiling import profile_report, profile_run
+from .scale import FULL, QUICK, SMOKE, ScenarioScale, current_scale
+from .smoke import check_bounds, run_smoke, write_smoke
 from .stats import SweepResult, seed_sweep
 
 __all__ = [
@@ -46,8 +48,14 @@ __all__ = [
     "unfair_primary_run",
     "FULL",
     "QUICK",
+    "SMOKE",
     "ScenarioScale",
     "current_scale",
+    "profile_report",
+    "profile_run",
+    "run_smoke",
+    "check_bounds",
+    "write_smoke",
     "SweepResult",
     "seed_sweep",
 ]

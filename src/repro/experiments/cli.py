@@ -8,6 +8,12 @@ Examples::
     python -m repro.experiments fig8 --f 2
     python -m repro.experiments fig12
     RBFT_FULL=1 python -m repro.experiments fig2   # full-scale sweep
+
+Beyond the paper's figures, two instrumentation commands::
+
+    python -m repro.experiments profile fig8       # per-core bottleneck report
+    python -m repro.experiments profile fig7 --trace-out fig7.trace.jsonl
+    python -m repro.experiments smoke              # CI gate: BENCH_smoke.json
 """
 
 from __future__ import annotations
@@ -146,6 +152,25 @@ def _cmd_fig12(args) -> None:
     ))
 
 
+def _cmd_profile(args) -> int:
+    from .profiling import profile_report
+
+    print(profile_report(
+        args.fig,
+        payload=args.payload if args.payload is not None else None,
+        f=args.f,
+        top=args.top,
+        trace_out=args.trace_out,
+    ))
+    return 0
+
+
+def _cmd_smoke(args) -> int:
+    from .smoke import write_smoke
+
+    return write_smoke(output=args.output, seed=args.seed)
+
+
 COMMANDS = {
     "table1": (_cmd_table1, "Table I: baseline worst-case degradations"),
     "fig1": (_cmd_fig1, "Prime under attack"),
@@ -173,7 +198,38 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="request payload size in bytes")
         cmd.add_argument("--f", type=int, default=1,
                          help="number of tolerated faults")
+
+    from .profiling import PROFILABLE
+
+    profile = sub.add_parser(
+        "profile",
+        help="re-run a figure with tracing on; print per-core bottlenecks",
+    )
+    profile.add_argument("fig", choices=sorted(PROFILABLE),
+                         help="which figure's scenario to profile")
+    profile.add_argument("--payload", type=int, default=None,
+                         help="override the scenario's payload size")
+    profile.add_argument("--f", type=int, default=1,
+                         help="number of tolerated faults")
+    profile.add_argument("--top", type=int, default=16,
+                         help="show only the busiest N cores")
+    profile.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="also export the raw trace as JSON lines")
+
+    smoke = sub.add_parser(
+        "smoke",
+        help="fast fig7+fig8 subset; writes BENCH_smoke.json (CI gate)",
+    )
+    smoke.add_argument("--output", default="BENCH_smoke.json",
+                       help="where to write the benchmark artifact")
+    smoke.add_argument("--seed", type=int, default=0,
+                       help="experiment seed")
+
     args = parser.parse_args(argv)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "smoke":
+        return _cmd_smoke(args)
     COMMANDS[args.command][0](args)
     return 0
 

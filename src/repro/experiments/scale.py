@@ -9,6 +9,12 @@ Every benchmark runs at one of two scales:
 
 Both scales exercise identical code paths; only durations, sweep density
 and monitoring cadences change.
+
+A third scale, **SMOKE**, is not selectable via the environment: it is
+the fixed contract of ``python -m repro.experiments smoke`` (the CI
+benchmark gate), kept deliberately tiny so every push pays seconds, not
+minutes, and kept *stable* so ``BENCH_smoke.json`` files are comparable
+across commits.
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ import os
 from dataclasses import dataclass
 from typing import Tuple
 
-__all__ = ["ScenarioScale", "QUICK", "FULL", "current_scale"]
+__all__ = ["ScenarioScale", "QUICK", "FULL", "SMOKE", "current_scale"]
 
 
 @dataclass(frozen=True)
@@ -43,6 +49,18 @@ QUICK = ScenarioScale(
     sizes=(8, 1024, 4096),
     rate_points=6,
     monitoring_period=0.15,
+    aardvark_grace=0.35,
+    aardvark_period=0.05,
+)
+
+SMOKE = ScenarioScale(
+    name="smoke",
+    duration=0.6,
+    warmup=0.15,
+    probe_duration=0.25,
+    sizes=(8,),
+    rate_points=3,
+    monitoring_period=0.12,
     aardvark_grace=0.35,
     aardvark_period=0.05,
 )

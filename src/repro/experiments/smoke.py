@@ -1,0 +1,150 @@
+"""The benchmark-smoke gate: ``python -m repro.experiments smoke``.
+
+Runs a fixed, fast subset of the paper's evaluation —
+
+* a **fig7** point: fault-free RBFT at saturating static load (peak
+  throughput and client latency), and
+* a **fig8** point: the same deployment under worst-attack-1, reported
+  as the attacked/fault-free *degradation ratio* (the paper's headline
+  robustness number: RBFT loses at most a few percent);
+
+— and writes a machine-readable ``BENCH_smoke.json``.  CI runs this on
+every push, uploads the artifact (the seed of the repo's benchmark
+trajectory), and **fails the build** when any number leaves the sane
+bounds below: a regression that halves throughput, explodes latency or
+breaks the robustness story cannot land silently.
+
+Bounds are deliberately loose — the smoke scale trades variance for
+speed — and only catch order-of-magnitude breakage, not percent-level
+drift; the FULL-scale benchmark suite remains the precision instrument.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+from .runner import probe_capacity, relative_throughput, run_static
+from .scale import SMOKE, ScenarioScale
+
+__all__ = ["SMOKE_BOUNDS", "run_smoke", "check_bounds", "write_smoke"]
+
+#: sanity envelope for the smoke numbers; violating any entry fails CI.
+SMOKE_BOUNDS: Dict[str, float] = {
+    # fault-free RBFT at 8-byte requests peaks in the tens of kreq/s;
+    # anything below this means the pipeline is broken, not slow.
+    "fig7_min_throughput_rps": 5_000.0,
+    # client latency at saturation sits in the milliseconds.
+    "fig7_max_mean_latency_s": 0.25,
+    # worst-attack-1 costs RBFT only a few percent at full scale; at
+    # smoke scale allow generous noise but catch real degradation.
+    "fig8_min_degradation_ratio": 0.60,
+    "fig8_max_degradation_ratio": 1.15,
+}
+
+
+def run_smoke(scale: Optional[ScenarioScale] = None, seed: int = 0) -> dict:
+    """Execute the smoke subset and return the benchmark record."""
+    scale = scale or SMOKE
+    t0 = time.perf_counter()
+
+    capacity = probe_capacity("rbft", 8, scale, f=1, seed=seed)
+    fig7 = run_static("rbft", payload=8, scale=scale, seed=seed)
+    pct, fault_free, attacked = relative_throughput(
+        "rbft", 8, scale=scale, attack="rbft-worst1", seed=seed
+    )
+    wall = time.perf_counter() - t0
+
+    ratio = (
+        attacked.executed_rate / fault_free.executed_rate
+        if fault_free.executed_rate > 0
+        else 0.0
+    )
+    return {
+        "schema": "rbft-bench-smoke/1",
+        "scale": scale.name,
+        "seed": seed,
+        "wall_clock_s": round(wall, 3),
+        "fig7": {
+            "payload": 8,
+            "probed_capacity_rps": round(capacity, 1),
+            "offered_rps": round(fig7.offered_rate, 1),
+            "throughput_rps": round(fig7.executed_rate, 1),
+            "mean_latency_s": round(fig7.mean_latency, 6),
+            "p99_latency_s": round(fig7.p99_latency, 6),
+        },
+        "fig8": {
+            "payload": 8,
+            "attack": "rbft-worst1",
+            "fault_free_rps": round(fault_free.executed_rate, 1),
+            "attacked_rps": round(attacked.executed_rate, 1),
+            "degradation_ratio": round(ratio, 4),
+            "relative_pct": round(pct, 2),
+            "instance_changes": attacked.instance_changes,
+        },
+        "bounds": dict(SMOKE_BOUNDS),
+    }
+
+
+def check_bounds(record: dict) -> List[str]:
+    """Return the list of bound violations (empty = gate passes)."""
+    bounds = record.get("bounds", SMOKE_BOUNDS)
+    fig7 = record["fig7"]
+    fig8 = record["fig8"]
+    violations = []
+    if fig7["throughput_rps"] < bounds["fig7_min_throughput_rps"]:
+        violations.append(
+            "fig7 throughput %.0f req/s below floor %.0f"
+            % (fig7["throughput_rps"], bounds["fig7_min_throughput_rps"])
+        )
+    if fig7["mean_latency_s"] > bounds["fig7_max_mean_latency_s"]:
+        violations.append(
+            "fig7 mean latency %.4f s above ceiling %.4f s"
+            % (fig7["mean_latency_s"], bounds["fig7_max_mean_latency_s"])
+        )
+    ratio = fig8["degradation_ratio"]
+    if ratio < bounds["fig8_min_degradation_ratio"]:
+        violations.append(
+            "fig8 degradation ratio %.3f below floor %.3f — the attack "
+            "hurts far more than the paper allows" % (
+                ratio, bounds["fig8_min_degradation_ratio"],
+            )
+        )
+    if ratio > bounds["fig8_max_degradation_ratio"]:
+        violations.append(
+            "fig8 degradation ratio %.3f above ceiling %.3f — attacked "
+            "outrunning fault-free suggests a measurement bug" % (
+                ratio, bounds["fig8_max_degradation_ratio"],
+            )
+        )
+    return violations
+
+
+def write_smoke(
+    output: str = "BENCH_smoke.json",
+    scale: Optional[ScenarioScale] = None,
+    seed: int = 0,
+) -> int:
+    """Run, write the artifact, print a summary; non-zero on violation."""
+    record = run_smoke(scale=scale, seed=seed)
+    violations = check_bounds(record)
+    record["violations"] = violations
+    with open(output, "w", encoding="utf-8") as fileobj:
+        json.dump(record, fileobj, indent=2, sort_keys=True)
+        fileobj.write("\n")
+    print(
+        "smoke: fig7 %.0f req/s @ %.2f ms mean | fig8 ratio %.3f "
+        "(%.1f%% of fault-free) | wall %.1fs -> %s"
+        % (
+            record["fig7"]["throughput_rps"],
+            record["fig7"]["mean_latency_s"] * 1e3,
+            record["fig8"]["degradation_ratio"],
+            record["fig8"]["relative_pct"],
+            record["wall_clock_s"],
+            output,
+        )
+    )
+    for violation in violations:
+        print("BOUND VIOLATION: %s" % violation)
+    return 1 if violations else 0

@@ -99,21 +99,38 @@ class Channel:
         rng = self.network.rng
         if self.profile.jitter > 0:
             arrival += rng.random() * self.profile.jitter
+        tracer = sim.tracer
+        tracing = tracer is not None and tracer.enabled
         if self.tcp:
             arrival += self.profile.tcp_overhead
         elif self.profile.udp_loss > 0 and rng.random() < self.profile.udp_loss:
             self.dropped += 1
+            if tracing:
+                tracer.emit(
+                    sim.now, "chan.drop", self.src,
+                    dst=self.dst, size=size, reason="udp-loss",
+                )
             return
         if arrival < self.dst_nic.closed_until:
             # The receiver closed this NIC: hardware drop, zero cost.
             self.dst_nic.note_dropped()
             self.dropped += 1
+            if tracing:
+                tracer.emit(
+                    sim.now, "chan.drop", self.src,
+                    dst=self.dst, size=size, reason="nic-closed",
+                )
             return
         deliver_at = self.dst_nic.reserve_rx(size, arrival)
         if self.tcp and deliver_at < self._last_delivery:
             deliver_at = self._last_delivery  # FIFO guarantee
         self._last_delivery = deliver_at
         self.delivered += 1
+        if tracing:
+            tracer.emit(
+                sim.now, "chan.deliver", self.src,
+                dst=self.dst, size=size, at=deliver_at,
+            )
         sim.call_at(deliver_at, self.handler, msg)
 
     def __repr__(self) -> str:

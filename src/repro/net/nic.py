@@ -58,6 +58,9 @@ class NIC:
         self.tx_free_at = done
         self.bytes_tx += size
         self.msgs_tx += 1
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(now, "nic.tx", self.name, size=size, done=done)
         return done
 
     def reserve_rx(self, size: int, arrival: float) -> float:
@@ -67,6 +70,9 @@ class NIC:
         self.rx_free_at = done
         self.bytes_rx += size
         self.msgs_rx += 1
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(arrival, "nic.rx", self.name, size=size, done=done)
         return done
 
     # ----------------------------------------------------------------- close
@@ -87,6 +93,9 @@ class NIC:
 
     def note_dropped(self) -> None:
         self.dropped_while_closed += 1
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(self.sim.now, "nic.drop", self.name)
 
     def __repr__(self) -> str:
         return "NIC(%s, tx=%dB, rx=%dB%s)" % (

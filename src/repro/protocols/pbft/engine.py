@@ -160,6 +160,9 @@ class OrderingInstance:
         self.ordered_items = 0
         self.view_changes = 0
 
+        #: trace identity, e.g. "node2/i1" — one per (replica, instance).
+        self._trace_name = "%s/i%d" % (replica, instance)
+
     # ------------------------------------------------------------ identity
     def primary_index(self, view: Optional[int] = None) -> int:
         view = self.view if view is None else view
@@ -253,6 +256,13 @@ class OrderingInstance:
     def _emit_preprepare(self, msg: PrePrepare) -> None:
         if msg.view != self.view or not self.active:
             return  # a view change overtook the delayed send
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                self.sim.now, "pbft.phase", self._trace_name,
+                phase="pre-prepare", seq=msg.seq, view=msg.view,
+                items=len(msg.items),
+            )
         self.transport.broadcast(msg)
         self._record_preprepare(msg)
 
@@ -382,6 +392,12 @@ class OrderingInstance:
         if entry is None or entry.digest != digest or entry.prepared:
             return
         entry.prepared = True
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                self.sim.now, "pbft.phase", self._trace_name,
+                phase="prepared", seq=seq, view=view,
+            )
         key = (view, seq, digest)
         if not self.silent:
             commit = Commit(
@@ -416,6 +432,12 @@ class OrderingInstance:
         if not self._commit_votes.complete((view, seq, digest)):
             return
         entry.committed = True
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                self.sim.now, "pbft.phase", self._trace_name,
+                phase="committed", seq=seq, view=view,
+            )
         self._drain_ordered()
 
     def _drain_ordered(self) -> None:
@@ -428,6 +450,12 @@ class OrderingInstance:
             self.next_exec += 1
             self.ordered_batches += 1
             self.ordered_items += len(entry.items)
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.emit(
+                    self.sim.now, "pbft.phase", self._trace_name,
+                    phase="ordered", seq=seq, items=len(entry.items),
+                )
             for item in entry.items:
                 self._ordered_ids.add(item.request_id)
                 self.pending.pop(item.request_id, None)
@@ -580,6 +608,12 @@ class OrderingInstance:
             self.core.submit(cost, self.transport.broadcast, msg)
         self.view = new_view
         self.view_changes += 1
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                self.sim.now, "pbft.view-change", self._trace_name,
+                view=new_view,
+            )
         self.pending_view = None
         self.active = True
         self._vc_voted_for = max(self._vc_voted_for, new_view)

@@ -258,6 +258,9 @@ class Simulator:
         self._heap: List[tuple] = []
         self._seq = 0
         self._running = False
+        #: optional :class:`repro.trace.Tracer`; None (the default) keeps
+        #: every instrumented call site on its no-allocation fast path.
+        self.tracer = None
 
     # ------------------------------------------------------------- scheduling
     def call_at(self, time: float, fn: Callable, *args: Any) -> Handle:
@@ -306,6 +309,10 @@ class Simulator:
             raise RuntimeError("simulator is already running")
         self._running = True
         heap = self._heap
+        # Hoisted once: attach a tracer *before* run() (re-checking the
+        # attribute per dispatch would tax every untraced run).
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
         try:
             while heap:
                 time, _seq, item = heap[0]
@@ -314,8 +321,18 @@ class Simulator:
                 heapq.heappop(heap)
                 self.now = time
                 if isinstance(item, Event):
+                    if tracing:
+                        tracer.emit(time, "sim.dispatch", type(item).__name__)
                     item._process()
                 else:
+                    if tracing:
+                        fn = item.fn
+                        tracer.emit(
+                            time,
+                            "sim.dispatch",
+                            getattr(fn, "__qualname__", repr(fn)),
+                            cancelled=item.cancelled,
+                        )
                     item._fire()
         finally:
             self._running = False

@@ -53,6 +53,17 @@ class Core:
         self.busy_until = done
         self.busy_time += cost
         self.jobs += 1
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                now,
+                "core.job",
+                self.name,
+                cost=cost,
+                start=start,
+                done=done,
+                job=getattr(fn, "__qualname__", None) if fn is not None else None,
+            )
         if fn is not None:
             self.sim.call_at(done, fn, *args)
         return done

@@ -1,0 +1,79 @@
+"""Structured event tracing and per-core profiling.
+
+Attach a :class:`Tracer` to a simulator before running and every
+instrumented layer — the event kernel, CPU cores, NICs and channels, the
+RBFT module pipeline, the monitoring module and the ordering engines —
+emits typed :class:`TraceEvent` records::
+
+    from repro.trace import Tracer
+
+    deployment = build_rbft(config)
+    deployment.sim.tracer = Tracer()
+    deployment.sim.run(until=1.0)
+    events = deployment.sim.tracer.events()
+
+Tracing is **off by default** (``Simulator.tracer is None``) and the
+instrumented call sites guard on that, so undisturbed runs pay nothing.
+See :mod:`repro.trace.profile` for the per-core utilization consumers
+and ``python -m repro.experiments profile <fig>`` for the CLI.
+"""
+
+from .events import (
+    K_CHANNEL_DELIVER,
+    K_CHANNEL_DROP,
+    K_CORE_JOB,
+    K_INSTANCE_CHANGE,
+    K_MONITOR_TICK,
+    K_MONITOR_TRIGGER,
+    K_NIC_DROP,
+    K_NIC_RX,
+    K_NIC_TX,
+    K_PHASE,
+    K_SIM_DISPATCH,
+    K_STAGE,
+    K_VIEW_CHANGE,
+    TraceEvent,
+)
+from .profile import (
+    CoreProfile,
+    build_core_profiles,
+    format_profile_report,
+    stage_counts,
+    utilization_timeline,
+)
+from .tracer import (
+    JsonlStreamSink,
+    ListSink,
+    RingBufferSink,
+    Tracer,
+    export_jsonl,
+    load_jsonl,
+)
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "ListSink",
+    "RingBufferSink",
+    "JsonlStreamSink",
+    "export_jsonl",
+    "load_jsonl",
+    "CoreProfile",
+    "build_core_profiles",
+    "utilization_timeline",
+    "stage_counts",
+    "format_profile_report",
+    "K_SIM_DISPATCH",
+    "K_CORE_JOB",
+    "K_NIC_TX",
+    "K_NIC_RX",
+    "K_NIC_DROP",
+    "K_CHANNEL_DELIVER",
+    "K_CHANNEL_DROP",
+    "K_STAGE",
+    "K_MONITOR_TICK",
+    "K_MONITOR_TRIGGER",
+    "K_INSTANCE_CHANGE",
+    "K_PHASE",
+    "K_VIEW_CHANGE",
+]

@@ -1,0 +1,113 @@
+"""Typed trace event records.
+
+Every trace event is a ``(t, kind, name, data)`` quadruple:
+
+* ``t`` — the virtual time the event happened at;
+* ``kind`` — one of the ``K_*`` constants below, naming the subsystem
+  and the thing that happened (``"core.job"``, ``"nic.tx"``, ...);
+* ``name`` — the emitting entity (a core, NIC, channel, node or
+  replica name), so events filter naturally per resource;
+* ``data`` — a small dict of JSON-able payload fields (byte counts,
+  costs, phase names, ...).
+
+Events are deliberately flat and schema-light: the profiling consumers
+in :mod:`repro.trace.profile` reconstruct spans (busy intervals, queue
+depths) from the recorded timestamps rather than requiring the emitters
+to maintain open/close pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "TraceEvent",
+    "K_SIM_DISPATCH",
+    "K_CORE_JOB",
+    "K_NIC_TX",
+    "K_NIC_RX",
+    "K_NIC_DROP",
+    "K_CHANNEL_DELIVER",
+    "K_CHANNEL_DROP",
+    "K_STAGE",
+    "K_MONITOR_TICK",
+    "K_MONITOR_TRIGGER",
+    "K_INSTANCE_CHANGE",
+    "K_PHASE",
+    "K_VIEW_CHANGE",
+]
+
+#: the sim kernel dispatched one queued callback/event
+K_SIM_DISPATCH = "sim.dispatch"
+#: a Core accepted one job (fields: cost, start, done, wait, job)
+K_CORE_JOB = "core.job"
+#: a NIC queued bytes for transmission (fields: size, done)
+K_NIC_TX = "nic.tx"
+#: a NIC queued arriving bytes (fields: size, done)
+K_NIC_RX = "nic.rx"
+#: a NIC dropped traffic while closed (fields: —)
+K_NIC_DROP = "nic.drop"
+#: a channel delivered a message (fields: src, dst, size, at)
+K_CHANNEL_DELIVER = "chan.deliver"
+#: a channel dropped a message (fields: src, dst, size, reason)
+K_CHANNEL_DROP = "chan.drop"
+#: a request crossed one module-pipeline stage (fields: stage, ...)
+K_STAGE = "node.stage"
+#: a monitoring window closed (fields: rates, master)
+K_MONITOR_TICK = "monitor.tick"
+#: the monitor demanded an instance change (fields: reason)
+K_MONITOR_TRIGGER = "monitor.trigger"
+#: 2f+1 INSTANCE-CHANGEs completed (fields: cpi, master)
+K_INSTANCE_CHANGE = "node.instance-change"
+#: an ordering instance crossed a protocol phase (fields: phase, seq, view, items)
+K_PHASE = "pbft.phase"
+#: an ordering instance installed a new view (fields: view)
+K_VIEW_CHANGE = "pbft.view-change"
+
+
+class TraceEvent:
+    """One structured trace record."""
+
+    __slots__ = ("t", "kind", "name", "data")
+
+    def __init__(self, t: float, kind: str, name: str, data: Optional[Dict[str, Any]] = None):
+        self.t = t
+        self.kind = kind
+        self.name = name
+        self.data = data or {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"t": self.t, "kind": self.kind, "name": self.name}
+        if self.data:
+            record["data"] = self.data
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "TraceEvent":
+        return cls(
+            float(record["t"]),
+            record["kind"],
+            record["name"],
+            record.get("data") or {},
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return (
+            self.t == other.t
+            and self.kind == other.kind
+            and self.name == other.name
+            and self.data == other.data
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.t, self.kind, self.name))
+
+    def __repr__(self) -> str:
+        return "TraceEvent(t=%g, kind=%r, name=%r, data=%r)" % (
+            self.t,
+            self.kind,
+            self.name,
+            self.data,
+        )

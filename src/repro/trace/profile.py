@@ -1,0 +1,228 @@
+"""Per-core profiling: turn a trace into a bottleneck report.
+
+The :data:`~repro.trace.events.K_CORE_JOB` events carry everything the
+analytic CPU model knows about a job — submission time ``t``, service
+``start``, completion ``done`` and its ``cost`` — so busy time, queue
+depth and utilization timelines are all reconstructed here, offline,
+with no extra bookkeeping on the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .events import K_CORE_JOB, K_STAGE, TraceEvent
+
+__all__ = [
+    "CoreProfile",
+    "build_core_profiles",
+    "utilization_timeline",
+    "stage_counts",
+    "format_profile_report",
+]
+
+
+class CoreProfile:
+    """Aggregated statistics of one core over a traced run."""
+
+    __slots__ = (
+        "name",
+        "jobs",
+        "busy",
+        "wait",
+        "max_queue_depth",
+        "first_t",
+        "last_done",
+        "_intervals",
+    )
+
+    def __init__(self, name: str):
+        self.name = name
+        self.jobs = 0
+        self.busy = 0.0  # seconds of service time
+        self.wait = 0.0  # seconds jobs spent queued before service
+        self.max_queue_depth = 0
+        self.first_t: Optional[float] = None
+        self.last_done = 0.0
+        self._intervals: List[Tuple[float, float]] = []  # (submit, done)
+
+    @property
+    def module(self) -> str:
+        """The pinned actor, e.g. ``verification`` of ``node0/verification``."""
+        return self.name.split("/", 1)[1] if "/" in self.name else self.name
+
+    @property
+    def node(self) -> str:
+        return self.name.split("/", 1)[0]
+
+    def add_job(self, t: float, start: float, done: float, cost: float) -> None:
+        self.jobs += 1
+        self.busy += cost
+        self.wait += max(0.0, start - t)
+        if self.first_t is None or t < self.first_t:
+            self.first_t = t
+        if done > self.last_done:
+            self.last_done = done
+        self._intervals.append((t, done))
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Busy fraction of the traced interval (or of ``horizon``)."""
+        start = self.first_t or 0.0
+        end = horizon if horizon is not None else self.last_done
+        elapsed = end - start
+        if elapsed <= 0:
+            return 0.0
+        return min(self.busy, elapsed) / elapsed
+
+    def mean_wait(self) -> float:
+        return self.wait / self.jobs if self.jobs else 0.0
+
+    def _compute_depth(self) -> None:
+        """Max number of jobs in the system (queued + in service) at once."""
+        marks: List[Tuple[float, int]] = []
+        for submit, done in self._intervals:
+            marks.append((submit, 1))
+            marks.append((done, -1))
+        # Completions at time t free the slot before a submission at t uses it.
+        marks.sort(key=lambda mark: (mark[0], mark[1]))
+        depth = peak = 0
+        for _, delta in marks:
+            depth += delta
+            if depth > peak:
+                peak = depth
+        self.max_queue_depth = peak
+
+    def __repr__(self) -> str:
+        return "CoreProfile(%s, jobs=%d, busy=%g)" % (self.name, self.jobs, self.busy)
+
+
+def build_core_profiles(events: Iterable[TraceEvent]) -> Dict[str, CoreProfile]:
+    """Fold ``core.job`` events into one :class:`CoreProfile` per core."""
+    profiles: Dict[str, CoreProfile] = {}
+    for event in events:
+        if event.kind != K_CORE_JOB:
+            continue
+        profile = profiles.get(event.name)
+        if profile is None:
+            profile = profiles[event.name] = CoreProfile(event.name)
+        data = event.data
+        profile.add_job(event.t, data["start"], data["done"], data["cost"])
+    for profile in profiles.values():
+        profile._compute_depth()
+    return profiles
+
+
+def utilization_timeline(
+    events: Iterable[TraceEvent],
+    core: str,
+    window: float,
+    until: Optional[float] = None,
+) -> List[Tuple[float, float]]:
+    """Windowed busy fraction of one core: ``[(window_end, util), ...]``.
+
+    Service intervals are reconstructed from ``start``/``done`` and
+    clipped to each window, so a job spanning a window boundary is
+    charged proportionally to both windows.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    spans = [
+        (event.data["start"], event.data["done"])
+        for event in events
+        if event.kind == K_CORE_JOB and event.name == core
+    ]
+    if not spans:
+        return []
+    end = until if until is not None else max(done for _, done in spans)
+    timeline = []
+    w0 = 0.0
+    while w0 < end:
+        w1 = min(w0 + window, end)
+        busy = 0.0
+        for start, done in spans:
+            overlap = min(done, w1) - max(start, w0)
+            if overlap > 0:
+                busy += overlap
+        timeline.append((w1, busy / (w1 - w0)))
+        w0 = w1
+    return timeline
+
+
+def stage_counts(events: Iterable[TraceEvent]) -> Dict[str, int]:
+    """How many requests crossed each module-pipeline stage."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        if event.kind == K_STAGE:
+            stage = event.data.get("stage", "?")
+            counts[stage] = counts.get(stage, 0) + 1
+    return counts
+
+
+def format_profile_report(
+    events: Iterable[TraceEvent],
+    horizon: Optional[float] = None,
+    top: int = 0,
+) -> str:
+    """Render the per-core utilization / bottleneck report.
+
+    ``horizon`` is the run duration used for utilization; ``top`` limits
+    the table to the busiest N cores (0 = all cores that did work).
+    """
+    events = list(events)
+    profiles = build_core_profiles(events)
+    if not profiles:
+        return "no core.job events in trace (was the tracer attached before run?)"
+    ranked = sorted(profiles.values(), key=lambda p: p.busy, reverse=True)
+    if top:
+        ranked = ranked[:top]
+    lines = []
+    span = horizon if horizon is not None else max(p.last_done for p in ranked)
+    lines.append("Per-core utilization over %.3f simulated seconds" % span)
+    header = "%-28s %-14s %8s %10s %7s %6s %10s" % (
+        "core", "module", "jobs", "busy(s)", "util%", "maxQ", "wait(ms)"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for profile in ranked:
+        if profile.jobs == 0:
+            continue
+        lines.append(
+            "%-28s %-14s %8d %10.4f %7.1f %6d %10.3f"
+            % (
+                profile.name,
+                profile.module,
+                profile.jobs,
+                profile.busy,
+                100.0 * profile.utilization(horizon),
+                profile.max_queue_depth,
+                profile.mean_wait() * 1e3,
+            )
+        )
+    busiest = ranked[0]
+    lines.append("")
+    lines.append(
+        "Busiest core: %s (%.1f%% busy, %d jobs) — module '%s' on %s"
+        % (
+            busiest.name,
+            100.0 * busiest.utilization(horizon),
+            busiest.jobs,
+            busiest.module,
+            busiest.node,
+        )
+    )
+    # Cross-node module totals: which pipeline stage is the global bottleneck.
+    module_busy: Dict[str, float] = {}
+    for profile in profiles.values():
+        module_busy[profile.module] = module_busy.get(profile.module, 0.0) + profile.busy
+    hottest = max(module_busy, key=lambda module: module_busy[module])
+    lines.append(
+        "Busiest module across nodes: %s (%.4f core-seconds total)"
+        % (hottest, module_busy[hottest])
+    )
+    counts = stage_counts(events)
+    if counts:
+        ordered = ", ".join(
+            "%s=%d" % (stage, counts[stage]) for stage in sorted(counts)
+        )
+        lines.append("Pipeline stage events: %s" % ordered)
+    return "\n".join(lines)

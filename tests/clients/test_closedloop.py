@@ -1,6 +1,5 @@
 """Tests for closed-loop clients."""
 
-import pytest
 
 from repro.clients.closedloop import ClosedLoopClient
 from repro.core import RBFTConfig

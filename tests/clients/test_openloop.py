@@ -1,6 +1,5 @@
 """Unit tests for open-loop clients."""
 
-import pytest
 
 from repro.clients import OpenLoopClient
 from repro.common import Cluster, ClusterConfig, Reply

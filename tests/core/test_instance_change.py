@@ -1,6 +1,5 @@
 """Protocol-level tests of the instance change mechanism (§IV-D)."""
 
-import pytest
 
 from repro.core import RBFTConfig
 from repro.core.messages import InstanceChangeMsg

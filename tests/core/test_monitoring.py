@@ -1,6 +1,5 @@
 """Unit tests of the InstanceMonitor (§IV-C)."""
 
-import pytest
 
 from repro.core import RBFTConfig
 from repro.core.monitoring import InstanceMonitor

@@ -6,11 +6,9 @@ other clients — but node-to-node bandwidth, and therefore the ordering
 pipeline for already-admitted requests, is untouched.
 """
 
-import pytest
 
 from repro.core import RBFTConfig
 from repro.experiments.deployments import build_rbft
-from repro.protocols.base import ClientRequestMsg
 
 
 def test_client_flood_does_not_touch_peer_nics():

@@ -8,7 +8,6 @@ average latency on the *master* instance exceeds its average on the
 through a different (fair) primary, so it provides the reference.
 """
 
-import pytest
 
 from repro.core import RBFTConfig
 from repro.experiments.deployments import build_rbft

@@ -1,6 +1,5 @@
 """Tests for best-backup master promotion (§IV-A future work)."""
 
-import pytest
 
 from repro.clients import LoadGenerator, static_profile
 from repro.core import RBFTConfig

@@ -1,6 +1,5 @@
 """Fine-grained tests of the RBFT node's module pipeline."""
 
-import pytest
 
 from repro.core import RBFTConfig
 from repro.core.messages import PropagateMsg
@@ -140,7 +139,6 @@ def test_stale_instance_change_discarded():
 
 def test_udp_rbft_with_loss_still_completes():
     """Failure injection: UDP transport with 0.5 % message loss."""
-    from repro.common.cluster import ClusterConfig
     from repro.net.network import LinkProfile
 
     config = RBFTConfig(f=1, batch_size=4, batch_delay=5e-4)

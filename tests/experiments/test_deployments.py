@@ -1,6 +1,5 @@
 """Tests for the deployment builders."""
 
-import pytest
 
 from repro.core import RBFTConfig
 from repro.experiments import (

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments import (
-    QUICK,
     ScenarioScale,
     current_scale,
     make_deployment,

@@ -1,6 +1,5 @@
 """Tests for flooding attackers and the NIC-closing defence."""
 
-import pytest
 
 from repro.core import RBFTConfig
 from repro.experiments.deployments import build_rbft

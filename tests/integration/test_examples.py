@@ -1,7 +1,6 @@
 """Smoke tests: the example scripts must keep working."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -22,6 +22,17 @@ def test_windowed_counter_take_resets_window_not_total():
     assert counter.total == 4
 
 
+def test_windowed_counter_take_on_empty_window():
+    counter = WindowedCounter()
+    assert counter.take() == 0
+    assert counter.total == 0
+    # a drained window stays empty until the next add
+    counter.add(5)
+    counter.take()
+    assert counter.take() == 0
+    assert counter.total == 5
+
+
 def test_throughput_meter_total_rate():
     sim = Simulator()
     meter = ThroughputMeter(sim)
@@ -44,6 +55,24 @@ def test_throughput_meter_zero_elapsed():
     sim = Simulator()
     meter = ThroughputMeter(sim)
     assert meter.rate_since(0.0) == 0.0
+
+
+def test_throughput_meter_zero_length_interval_after_advancing():
+    """Rate over a zero-length interval is 0.0, not a division error."""
+    sim = Simulator()
+    meter = ThroughputMeter(sim)
+    sim.call_after(1.0, meter.add, 10)
+    sim.run(until=2.0)
+    assert meter.rate_since(sim.now) == 0.0
+    assert meter.total_rate() == pytest.approx(5.0)  # unaffected
+
+
+def test_throughput_meter_negative_interval_is_zero():
+    sim = Simulator()
+    meter = ThroughputMeter(sim)
+    meter.add(3)
+    sim.run(until=1.0)
+    assert meter.rate_since(5.0) == 0.0
 
 
 def test_latency_recorder_mean_and_percentiles():

@@ -5,7 +5,6 @@ with optional per-link suppression, so every corner of the three-phase
 state machine can be driven deterministically.
 """
 
-import pytest
 
 from repro.common.types import Request
 from repro.crypto import CryptoCostModel, MacAuthenticator, Signature

@@ -1,8 +1,6 @@
 """Integration tests of the three-phase ordering engine via BftNode."""
 
-import pytest
 
-from repro.sim import Simulator
 
 from tests.helpers import build_pbft
 

@@ -48,6 +48,53 @@ def test_handle_cancel_prevents_firing():
     assert not handle.active
 
 
+def test_handle_active_transitions_across_firing():
+    sim = Simulator()
+    handle = sim.call_after(1.0, lambda: None)
+    assert handle.active
+    sim.run()
+    assert handle.done
+    assert not handle.active
+
+
+def test_handle_cancel_is_idempotent_and_safe_after_fire():
+    sim = Simulator()
+    fired = []
+    early = sim.call_after(1.0, fired.append, "early")
+    late = sim.call_after(2.0, fired.append, "late")
+    late.cancel()
+    late.cancel()  # repeat cancels are allowed
+    sim.run()
+    assert fired == ["early"]
+    early.cancel()  # cancelling after the callback ran is a no-op
+    assert not early.active
+    assert early.done
+
+
+def test_handle_cancel_mid_run_prevents_pending_callback():
+    """A callback can cancel a later handle while the loop is draining."""
+    sim = Simulator()
+    fired = []
+    victim = sim.call_after(2.0, fired.append, "victim")
+    sim.call_after(1.0, victim.cancel)
+    sim.run()
+    assert fired == []
+    assert not victim.active
+
+
+def test_cancelled_handle_can_be_rescheduled_fresh():
+    """Refire pattern: cancel the old handle, schedule a new one."""
+    sim = Simulator()
+    fired = []
+    old = sim.call_after(1.0, fired.append, "x")
+    old.cancel()
+    renewed = sim.call_after(3.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 3.0
+    assert renewed.done and not old.done
+
+
 def test_run_until_stops_clock_exactly():
     sim = Simulator()
     fired = []

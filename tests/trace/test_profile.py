@@ -1,0 +1,103 @@
+"""Unit tests for offline profile reconstruction from core.job spans."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.resources import Core
+from repro.trace import (
+    TraceEvent,
+    Tracer,
+    build_core_profiles,
+    format_profile_report,
+    stage_counts,
+    utilization_timeline,
+)
+
+
+def _traced_cores():
+    """Two cores with uneven load; returns (cores, events, horizon)."""
+    sim = Simulator()
+    sim.tracer = Tracer()
+    hot = Core(sim, "node0/verification")
+    cold = Core(sim, "node0/execution")
+    # saturate `hot` (jobs arrive faster than they are served)...
+    for i in range(10):
+        sim.call_after(0.01 * i, hot.charge, 0.05)
+    # ...and leave `cold` mostly idle
+    sim.call_after(0.0, cold.charge, 0.01)
+    sim.call_after(0.5, cold.charge, 0.01)
+    sim.run(until=1.0)
+    return (hot, cold), sim.tracer.events(), 1.0
+
+
+def test_profile_busy_matches_core_busy_time():
+    """Reconstructed busy seconds equal the core's own accounting."""
+    cores, events, _ = _traced_cores()
+    profiles = build_core_profiles(events)
+    for core in cores:
+        profile = profiles[core.name]
+        assert profile.busy == pytest.approx(core.busy_time)
+        assert profile.jobs == core.jobs
+
+
+def test_profile_utilization_sums_to_busy_over_horizon():
+    cores, events, horizon = _traced_cores()
+    profiles = build_core_profiles(events)
+    for core in cores:
+        profile = profiles[core.name]
+        expected = core.busy_time / horizon
+        # utilization over [first_t, horizon]; first submit is at t=0 here
+        assert profile.utilization(horizon) == pytest.approx(expected)
+
+
+def test_timeline_integrates_to_total_busy_time():
+    """Windowed busy fractions re-integrate to the core's busy seconds."""
+    (hot, _), events, horizon = _traced_cores()
+    window = 0.1
+    timeline = utilization_timeline(events, hot.name, window, until=horizon)
+    integrated = sum(util * window for _, util in timeline)
+    assert integrated == pytest.approx(hot.busy_time)
+
+
+def test_queue_depth_counts_overlapping_jobs():
+    # three jobs submitted at t=0 into a serial core: depth peaks at 3
+    events = [
+        TraceEvent(0.0, "core.job", "c", {"cost": 1.0, "start": 0.0, "done": 1.0}),
+        TraceEvent(0.0, "core.job", "c", {"cost": 1.0, "start": 1.0, "done": 2.0}),
+        TraceEvent(0.0, "core.job", "c", {"cost": 1.0, "start": 2.0, "done": 3.0}),
+        # a fourth arriving exactly when the first completes reuses its slot
+        TraceEvent(1.0, "core.job", "c", {"cost": 1.0, "start": 3.0, "done": 4.0}),
+    ]
+    profile = build_core_profiles(events)["c"]
+    assert profile.max_queue_depth == 3
+    assert profile.wait == pytest.approx(0.0 + 1.0 + 2.0 + 2.0)
+
+
+def test_module_and_node_split():
+    events = [
+        TraceEvent(0.0, "core.job", "node3/propagation", {"cost": 1.0, "start": 0.0, "done": 1.0}),
+    ]
+    profile = build_core_profiles(events)["node3/propagation"]
+    assert profile.module == "propagation"
+    assert profile.node == "node3"
+
+
+def test_stage_counts():
+    events = [
+        TraceEvent(0.0, "node.stage", "node0", {"stage": "verification.mac"}),
+        TraceEvent(0.1, "node.stage", "node0", {"stage": "verification.mac"}),
+        TraceEvent(0.2, "node.stage", "node0", {"stage": "execution"}),
+        TraceEvent(0.3, "core.job", "c", {"cost": 0.0, "start": 0.3, "done": 0.3}),
+    ]
+    assert stage_counts(events) == {"verification.mac": 2, "execution": 1}
+
+
+def test_report_names_the_busiest_core_and_module():
+    (hot, _), events, horizon = _traced_cores()
+    report = format_profile_report(events, horizon=horizon)
+    assert "Busiest core: %s" % hot.name in report
+    assert "module 'verification'" in report
+
+
+def test_report_on_empty_trace_is_helpful():
+    assert "no core.job events" in format_profile_report([])

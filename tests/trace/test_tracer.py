@@ -1,0 +1,143 @@
+"""Unit tests for the tracer, its sinks, and JSONL round-trips."""
+
+import gc
+import io
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.resources import Core
+from repro.trace import (
+    JsonlStreamSink,
+    ListSink,
+    RingBufferSink,
+    TraceEvent,
+    Tracer,
+    export_jsonl,
+    load_jsonl,
+)
+
+
+def _run_workload(sim):
+    """A small deterministic workload touching the instrumented kernel paths."""
+    core = Core(sim, "node0/verification")
+    for i in range(5):
+        sim.call_after(0.1 * i, core.charge, 0.05)
+    sim.run(until=1.0)
+    return core
+
+
+# --------------------------------------------------------- disabled fast path
+def test_disabled_tracer_allocates_no_events():
+    """With tracing off, instrumented paths must not build TraceEvents."""
+    sim = Simulator()
+    sim.tracer = Tracer(enabled=False)
+    gc.collect()
+    before = sum(1 for obj in gc.get_objects() if isinstance(obj, TraceEvent))
+    _run_workload(sim)
+    gc.collect()
+    after = sum(1 for obj in gc.get_objects() if isinstance(obj, TraceEvent))
+    assert after == before
+    assert sim.tracer.emitted == 0
+    assert sim.tracer.events() == []
+
+
+def test_no_tracer_is_the_default_and_traces_nothing():
+    sim = Simulator()
+    assert sim.tracer is None
+    _run_workload(sim)  # must not raise on the guarded call sites
+
+
+def test_emit_while_disabled_is_a_noop():
+    tracer = Tracer(enabled=False)
+    tracer.emit(1.0, "core.job", "x", cost=1.0)
+    assert tracer.emitted == 0
+    assert tracer.events() == []
+
+
+# ------------------------------------------------------------------ emission
+def test_enabled_tracer_collects_kernel_and_core_events():
+    sim = Simulator()
+    sim.tracer = Tracer()
+    core = _run_workload(sim)
+    events = sim.tracer.events()
+    kinds = {event.kind for event in events}
+    assert "sim.dispatch" in kinds
+    assert "core.job" in kinds
+    jobs = [event for event in events if event.kind == "core.job"]
+    assert len(jobs) == core.jobs
+    assert all(event.name == "node0/verification" for event in jobs)
+    # events are emitted in nondecreasing virtual time
+    times = [event.t for event in events]
+    assert times == sorted(times)
+
+
+def test_kinds_filter_drops_other_kinds_at_the_source():
+    sim = Simulator()
+    sim.tracer = Tracer(kinds=frozenset({"core.job"}))
+    _run_workload(sim)
+    events = sim.tracer.events()
+    assert events
+    assert all(event.kind == "core.job" for event in events)
+    # filtered emissions are not counted as emitted
+    assert sim.tracer.emitted == len(events)
+
+
+# --------------------------------------------------------------------- sinks
+def test_ring_buffer_sink_keeps_tail_and_counts_drops():
+    sink = RingBufferSink(capacity=3)
+    tracer = Tracer(sink=sink)
+    for i in range(5):
+        tracer.emit(float(i), "core.job", "c")
+    assert len(sink) == 3
+    assert sink.dropped == 2
+    assert [event.t for event in sink] == [2.0, 3.0, 4.0]
+
+
+def test_ring_buffer_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        RingBufferSink(0)
+
+
+def test_jsonl_stream_sink_retains_nothing_in_memory():
+    stream = io.StringIO()
+    tracer = Tracer(sink=JsonlStreamSink(stream))
+    tracer.emit(0.5, "nic.tx", "node0/nic", size=128)
+    tracer.emit(0.7, "nic.rx", "node1/nic", size=128)
+    assert len(tracer.sink) == 2
+    assert tracer.events() == []  # streamed away
+    stream.seek(0)
+    loaded = load_jsonl(stream)
+    assert [event.kind for event in loaded] == ["nic.tx", "nic.rx"]
+    assert loaded[0].data == {"size": 128}
+
+
+# --------------------------------------------------------------- round-trips
+def test_jsonl_export_round_trips(tmp_path):
+    events = [
+        TraceEvent(0.0, "core.job", "node0/cpu0", {"cost": 0.001, "start": 0.0, "done": 0.001}),
+        TraceEvent(0.5, "node.stage", "node1", {"stage": "verification.mac"}),
+        TraceEvent(1.0, "pbft.phase", "node2/i0", {"phase": "ordered", "seq": 7}),
+        TraceEvent(2.0, "nic.drop", "node3/nic", {}),
+    ]
+    path = str(tmp_path / "run.trace.jsonl")
+    written = export_jsonl(events, path)
+    assert written == len(events)
+    assert load_jsonl(path) == events
+
+
+def test_jsonl_round_trip_through_file_objects():
+    events = [TraceEvent(1.5, "monitor.tick", "node0", {"rates": [1.0, 2.0]})]
+    stream = io.StringIO()
+    export_jsonl(events, stream)
+    stream.seek(0)
+    assert load_jsonl(stream) == events
+
+
+def test_list_sink_iterates_in_order():
+    sink = ListSink()
+    tracer = Tracer(sink=sink)
+    tracer.emit(0.0, "a", "x")
+    tracer.emit(1.0, "b", "y")
+    assert [event.kind for event in sink] == ["a", "b"]
+    assert len(sink) == 2
