@@ -47,6 +47,21 @@ class RateProfile:
     def active(self, t: float) -> int:
         return max(1, self.active_fn(t))
 
+    def mean_rate(self, samples: int = 4096) -> float:
+        """Time-averaged offered rate over the profile's duration.
+
+        Computed numerically (midpoint rule) so it is exact for the
+        piecewise-constant profiles used here up to phase-boundary
+        rounding; for a static profile it equals the constant rate.
+        """
+        if self.duration <= 0 or samples <= 0:
+            return 0.0
+        step = self.duration / samples
+        total = 0.0
+        for i in range(samples):
+            total += self.rate((i + 0.5) * step)
+        return total / samples
+
 
 def static_profile(rate: float, duration: float, clients: int = 10) -> RateProfile:
     """A saturating constant load."""

@@ -44,7 +44,15 @@ class QuorumTracker:
         """
         if key in self._complete:
             return False
-        senders = self._senders.setdefault(key, set())
+        senders = self._senders.get(key)
+        if senders is None:
+            # First vote: avoid setdefault, which allocates a set even
+            # when the key already exists (the common case under load).
+            self._senders[key] = {sender}
+            if self.threshold <= 1:
+                self._complete.add(key)
+                return True
+            return False
         if sender in senders:
             return False
         senders.add(sender)

@@ -10,6 +10,7 @@ and digest — which is RBFT's optimisation (§IV-B step 2).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Optional, Tuple
 
 from repro.crypto.costmodel import (
@@ -38,7 +39,10 @@ class Request:
     exec_cost: Optional[float] = None  # overrides the service's default
     sent_at: float = 0.0  # client-side send timestamp (virtual time)
 
-    @property
+    # cached: the id is read on every hop of every module's pipeline, and
+    # a plain property would allocate a fresh tuple per read (the cache
+    # bypasses the frozen __setattr__ by writing to __dict__ directly).
+    @cached_property
     def request_id(self) -> RequestId:
         return (self.client, self.rid)
 
@@ -66,7 +70,7 @@ class RequestIdentifier:
     rid: int
     digest: Digest
 
-    @property
+    @cached_property
     def request_id(self) -> RequestId:
         return (self.client, self.rid)
 
@@ -84,6 +88,6 @@ class Reply:
     result: object
     result_size: int = 8
 
-    @property
+    @cached_property
     def request_id(self) -> RequestId:
         return (self.client, self.rid)

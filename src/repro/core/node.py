@@ -139,6 +139,12 @@ class RBFTNode:
         #: PROPAGATE phase" (worst-attack-2) never emits PROPAGATEs.
         self.propagate_silent = False
 
+        # Hoisted out of the per-PROPAGATE routing path: the header MAC
+        # cost is payload-independent, so it is a constant per node.
+        self._propagate_rx_cost = (
+            self.costs.mac_verify(32) + self.config.rx_overhead
+        )
+
         machine.handler = self.on_network_message
         sim.call_after(config.monitoring_period, self._monitor_tick)
 
@@ -166,8 +172,9 @@ class RBFTNode:
             # only checks the small header here.  For a first-sight request
             # the full payload is hashed exactly once — on the Verification
             # core, inside the signature check (the same hash serves both).
-            cost = self.costs.mac_verify(32) + self.config.rx_overhead
-            self.propagation_core.submit(cost, self._on_propagate, msg)
+            self.propagation_core.submit(
+                self._propagate_rx_cost, self._on_propagate, msg
+            )
         elif isinstance(msg, OrderingMessage):
             if 0 <= msg.instance < len(self.engines):
                 self.engines[msg.instance].receive(msg)

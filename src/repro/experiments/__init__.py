@@ -22,6 +22,8 @@ from .runner import (
     table1,
     unfair_primary_run,
 )
+from .kernelbench import check_regression, run_kernel_bench, write_kernel_bench
+from .parallel import RunSpec, execute_specs, resolve_jobs
 from .profiling import profile_report, profile_run
 from .scale import FULL, QUICK, SMOKE, ScenarioScale, current_scale
 from .smoke import check_bounds, run_smoke, write_smoke
@@ -56,6 +58,12 @@ __all__ = [
     "run_smoke",
     "check_bounds",
     "write_smoke",
+    "run_kernel_bench",
+    "check_regression",
+    "write_kernel_bench",
+    "RunSpec",
+    "execute_specs",
+    "resolve_jobs",
     "SweepResult",
     "seed_sweep",
 ]

@@ -9,11 +9,17 @@ Examples::
     python -m repro.experiments fig12
     RBFT_FULL=1 python -m repro.experiments fig2   # full-scale sweep
 
-Beyond the paper's figures, two instrumentation commands::
+Beyond the paper's figures, three instrumentation commands::
 
     python -m repro.experiments profile fig8       # per-core bottleneck report
     python -m repro.experiments profile fig7 --trace-out fig7.trace.jsonl
     python -m repro.experiments smoke              # CI gate: BENCH_smoke.json
+    python -m repro.experiments bench kernel       # kernel dispatch benchmark
+
+Sweeps fan out across worker processes: ``--jobs N`` (or the
+``REPRO_JOBS`` environment variable) sets the worker count, default
+``cpu_count() - 1``; ``--jobs 1`` forces the serial path.  Parallel and
+serial sweeps produce identical numbers.
 """
 
 from __future__ import annotations
@@ -41,11 +47,13 @@ __all__ = ["main"]
 
 
 def _cmd_table1(args) -> None:
-    print(format_table1(table1(scale=current_scale())))
+    print(format_table1(table1(scale=current_scale(), jobs=args.jobs)))
 
 
 def _cmd_fig1(args) -> None:
-    rows = attack_sweep("prime", scale=current_scale(), exec_cost=1e-4)
+    rows = attack_sweep(
+        "prime", scale=current_scale(), exec_cost=1e-4, jobs=args.jobs
+    )
     print(format_attack_rows(
         "Fig. 1: Prime relative throughput under attack", rows,
         paper_note="drops to 22-40 % across sizes",
@@ -53,7 +61,7 @@ def _cmd_fig1(args) -> None:
 
 
 def _cmd_fig2(args) -> None:
-    rows = attack_sweep("aardvark", scale=current_scale())
+    rows = attack_sweep("aardvark", scale=current_scale(), jobs=args.jobs)
     print(format_attack_rows(
         "Fig. 2: Aardvark relative throughput under attack", rows,
         paper_note="static >= 76 %, dynamic down to 13 %",
@@ -61,7 +69,7 @@ def _cmd_fig2(args) -> None:
 
 
 def _cmd_fig3(args) -> None:
-    rows = attack_sweep("spinning", scale=current_scale())
+    rows = attack_sweep("spinning", scale=current_scale(), jobs=args.jobs)
     print(format_attack_rows(
         "Fig. 3: Spinning relative throughput under attack", rows,
         paper_note="collapses to 1 % (static) / 4.5 % (dynamic)",
@@ -74,7 +82,7 @@ def _cmd_fig7(args) -> None:
     series = {}
     for variant in ("rbft", "rbft-udp", "prime", "aardvark", "spinning"):
         rows = latency_throughput_curve(
-            variant, args.payload, scale=current_scale()
+            variant, args.payload, scale=current_scale(), jobs=args.jobs
         )
         print(format_curve("Fig. 7 (%d B) — %s" % (args.payload, variant), rows))
         print()
@@ -88,7 +96,8 @@ def _cmd_fig7(args) -> None:
 
 def _cmd_fig8(args) -> None:
     rows = attack_sweep(
-        "rbft", scale=current_scale(), attack="rbft-worst1", f=args.f
+        "rbft", scale=current_scale(), attack="rbft-worst1", f=args.f,
+        jobs=args.jobs,
     )
     print(format_attack_rows(
         "Fig. 8: RBFT under worst-attack-1 (f=%d)" % args.f, rows,
@@ -105,7 +114,8 @@ def _cmd_fig9(args) -> None:
 
 def _cmd_fig10(args) -> None:
     rows = attack_sweep(
-        "rbft", scale=current_scale(), attack="rbft-worst2", f=args.f
+        "rbft", scale=current_scale(), attack="rbft-worst2", f=args.f,
+        jobs=args.jobs,
     )
     print(format_attack_rows(
         "Fig. 10: RBFT under worst-attack-2 (f=%d)" % args.f, rows,
@@ -168,7 +178,18 @@ def _cmd_profile(args) -> int:
 def _cmd_smoke(args) -> int:
     from .smoke import write_smoke
 
-    return write_smoke(output=args.output, seed=args.seed)
+    return write_smoke(output=args.output, seed=args.seed, jobs=args.jobs)
+
+
+def _cmd_bench(args) -> int:
+    from .kernelbench import write_kernel_bench
+
+    return write_kernel_bench(
+        output=args.output,
+        baseline_path=args.baseline,
+        repeat=args.repeat,
+        check=args.check,
+    )
 
 
 COMMANDS = {
@@ -198,6 +219,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="request payload size in bytes")
         cmd.add_argument("--f", type=int, default=1,
                          help="number of tolerated faults")
+        cmd.add_argument("--jobs", type=int, default=None,
+                         help="worker processes for the sweep (default: "
+                         "REPRO_JOBS or cpu_count()-1; 1 = serial)")
 
     from .profiling import PROFILABLE
 
@@ -224,12 +248,35 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="where to write the benchmark artifact")
     smoke.add_argument("--seed", type=int, default=0,
                        help="experiment seed")
+    smoke.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: REPRO_JOBS or "
+                       "cpu_count()-1; 1 = serial)")
+
+    from .kernelbench import DEFAULT_BASELINE_PATH
+
+    bench = sub.add_parser(
+        "bench",
+        help="microbenchmarks; `bench kernel` writes BENCH_kernel.json",
+    )
+    bench.add_argument("what", choices=["kernel"],
+                       help="which benchmark to run")
+    bench.add_argument("--output", default="BENCH_kernel.json",
+                       help="where to write the benchmark artifact")
+    bench.add_argument("--baseline", default=DEFAULT_BASELINE_PATH,
+                       help="reference baseline JSON for the speedup")
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="repetitions per workload (best wall kept)")
+    bench.add_argument("--check", action="store_true",
+                       help="fail (exit 1) when events/sec regresses more "
+                       "than 20%% below the baseline")
 
     args = parser.parse_args(argv)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "smoke":
         return _cmd_smoke(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     COMMANDS[args.command][0](args)
     return 0
 

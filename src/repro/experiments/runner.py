@@ -16,6 +16,9 @@ dynamic loads follow the paper's spike profile (§VI-A).
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -71,8 +74,52 @@ PROTOCOL_VARIANTS = (
     "pbft",
 )
 
-#: capacity cache: (protocol, payload, f, exec_cost) -> requests/second
+#: capacity cache: (protocol, payload, f, exec_cost, scale name, seed)
+#: -> requests/second.  In-memory, per-process; when the
+#: ``REPRO_CAPACITY_CACHE`` environment variable names a JSON file, the
+#: cache is additionally persisted there so probe results survive
+#: process boundaries (the parallel fan-out's worker pool, or explicit
+#: reuse across CLI invocations).
 _capacity_cache: Dict[Tuple, float] = {}
+
+
+def _capacity_key_string(key: Tuple) -> str:
+    """A stable JSON-file key for one cache tuple."""
+    return json.dumps(list(key))
+
+
+def _load_capacity_file(path: str) -> Dict[str, float]:
+    try:
+        with open(path, "r", encoding="utf-8") as fileobj:
+            data = json.load(fileobj)
+    except (OSError, ValueError):
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+def _store_capacity_entries(path: str, entries: Dict[Tuple, float]) -> None:
+    """Read-merge-write ``entries`` into the persistent cache file.
+
+    The write is atomic (tempfile + ``os.replace``) so concurrent
+    writers never leave a torn file.  Two probes racing on different
+    keys can still drop one another's entry (last write wins); that
+    only costs a redundant re-probe later, never a wrong value, because
+    every entry is deterministic given its key.
+    """
+    data = _load_capacity_file(path)
+    for key, value in entries.items():
+        data[_capacity_key_string(key)] = value
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(prefix=".capacity-", dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fileobj:
+            json.dump(data, fileobj, sort_keys=True)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
 
 
 @dataclass
@@ -225,11 +272,27 @@ def probe_capacity(
     exec_cost: float = 20e-6,
     seed: int = 0,
 ) -> float:
-    """Measure the fault-free saturation throughput (cached)."""
+    """Measure the fault-free saturation throughput (cached).
+
+    The cache key includes the probe ``seed``: probing is a measurement
+    of a seeded simulation, so two sweeps probing under different seeds
+    must not share results.  Cached values are also read from / written
+    to the ``REPRO_CAPACITY_CACHE`` file when that variable is set, so
+    a fresh process (a pool worker, a re-run) skips the probe.
+    """
     scale = scale or current_scale()
-    key = (protocol, payload, f, exec_cost, scale.name)
-    if key in _capacity_cache:
-        return _capacity_cache[key]
+    key = (protocol, payload, f, exec_cost, scale.name, seed)
+    cached = _capacity_cache.get(key)
+    if cached is not None:
+        return cached
+    cache_path = os.environ.get("REPRO_CAPACITY_CACHE")
+    if cache_path:
+        persisted = _load_capacity_file(cache_path).get(
+            _capacity_key_string(key)
+        )
+        if persisted is not None:
+            _capacity_cache[key] = persisted
+            return persisted
 
     def probe(rate: float) -> float:
         deployment = make_deployment(
@@ -251,6 +314,8 @@ def probe_capacity(
     # Stage 2: saturate just past the knee, like the paper's static load.
     capacity = probe(1.4 * coarse)
     _capacity_cache[key] = capacity
+    if cache_path:
+        _store_capacity_entries(cache_path, {key: capacity})
     return capacity
 
 
@@ -284,7 +349,9 @@ def run_static(
     """One saturating static-load run, optionally under attack."""
     scale = scale or current_scale()
     if rate is None:
-        rate = 1.25 * probe_capacity(protocol, payload, scale, f, exec_cost)
+        rate = 1.25 * probe_capacity(
+            protocol, payload, scale, f, exec_cost, seed
+        )
     deployment = make_deployment(
         protocol, payload, scale, f=f, seed=seed, exec_cost=exec_cost
     )
@@ -326,7 +393,9 @@ def run_dynamic(
     """One spike-workload run (§VI-A), optionally under attack."""
     scale = scale or current_scale()
     if per_client_rate is None:
-        capacity = probe_capacity(protocol, payload, scale, f, exec_cost)
+        capacity = probe_capacity(
+            protocol, payload, scale, f, exec_cost, seed
+        )
         per_client_rate = capacity / 12.0  # 10 clients ≈ 83 % of capacity
     # §VI-A: "similar workloads have been used for the other request
     # sizes with possibly fewer clients as the peak throughput has been
@@ -349,11 +418,12 @@ def run_dynamic(
             faulty_nodes = [deployment.nodes[0]]
     # "When the load is dynamic, we consider the average throughput
     # observed on the whole experiment" (§VI-A): no warm-up cut.
+    profile = dynamic_profile(
+        per_client_rate, scale.duration, spike_clients=spike_clients
+    )
     result = _execute_run(
         deployment,
-        dynamic_profile(
-            per_client_rate, scale.duration, spike_clients=spike_clients
-        ),
+        profile,
         duration=scale.duration,
         warmup=0.0,
         send_kwargs=send_kwargs,
@@ -361,7 +431,9 @@ def run_dynamic(
     )
     result.protocol = protocol
     result.payload = payload
-    result.offered_rate = per_client_rate * 10
+    # The true time-averaged offered load of the spike profile — the
+    # old ``per_client_rate * 10`` ignored the spike phase entirely.
+    result.offered_rate = profile.mean_rate()
     return result
 
 
@@ -391,34 +463,74 @@ def relative_throughput(
     return percent, fault_free, attacked
 
 
+def _relative_pct(attacked: RunResult, fault_free: RunResult) -> float:
+    """The same arithmetic as :func:`relative_throughput`, on results."""
+    if fault_free.executed_rate <= 0:
+        return 0.0
+    return 100.0 * attacked.executed_rate / fault_free.executed_rate
+
+
+def _sweep_specs(
+    protocol: str,
+    scale: ScenarioScale,
+    attack: str,
+    f: int,
+    exec_cost: float,
+) -> List:
+    """Four runs per request size, in the serial execution order."""
+    from .parallel import RunSpec
+
+    specs = []
+    for size in scale.sizes:
+        for kind in ("static", "dynamic"):
+            for att in (None, attack):
+                specs.append(
+                    RunSpec(
+                        kind=kind, protocol=protocol, payload=size,
+                        attack=att, f=f, exec_cost=exec_cost, scale=scale,
+                    )
+                )
+    return specs
+
+
+def _sweep_rows(scale: ScenarioScale, results: List[RunResult]) -> List[dict]:
+    rows = []
+    for index, size in enumerate(scale.sizes):
+        static_ff, static_att, dyn_ff, dyn_att = results[
+            4 * index : 4 * index + 4
+        ]
+        rows.append(
+            {
+                "size": size,
+                "static_pct": _relative_pct(static_att, static_ff),
+                "dynamic_pct": _relative_pct(dyn_att, dyn_ff),
+            }
+        )
+    return rows
+
+
 def attack_sweep(
     protocol: str,
     scale: Optional[ScenarioScale] = None,
     attack: str = "default",
     f: int = 1,
     exec_cost: float = 20e-6,
+    jobs: Optional[int] = None,
 ) -> List[dict]:
     """Figs 1, 2, 3, 8, 10: relative throughput vs request size, for both
-    the static and the dynamic load."""
+    the static and the dynamic load.
+
+    The per-size runs are independent simulations; ``jobs`` (default:
+    ``REPRO_JOBS`` or ``cpu_count() - 1``) fans them out across worker
+    processes.  Results are merged in spec order, so the rows are
+    byte-identical to a serial sweep.
+    """
+    from .parallel import execute_specs
+
     scale = scale or current_scale()
-    rows = []
-    for size in scale.sizes:
-        static_pct, _, _ = relative_throughput(
-            protocol, size, dynamic=False, scale=scale, attack=attack, f=f,
-            exec_cost=exec_cost,
-        )
-        dynamic_pct, _, _ = relative_throughput(
-            protocol, size, dynamic=True, scale=scale, attack=attack, f=f,
-            exec_cost=exec_cost,
-        )
-        rows.append(
-            {
-                "size": size,
-                "static_pct": static_pct,
-                "dynamic_pct": dynamic_pct,
-            }
-        )
-    return rows
+    specs = _sweep_specs(protocol, scale, attack, f, exec_cost)
+    results = execute_specs(specs, jobs=jobs)
+    return _sweep_rows(scale, results)
 
 
 def latency_throughput_curve(
@@ -427,32 +539,37 @@ def latency_throughput_curve(
     scale: Optional[ScenarioScale] = None,
     f: int = 1,
     exec_cost: float = 20e-6,
+    jobs: Optional[int] = None,
 ) -> List[dict]:
-    """Fig 7: (achieved throughput, mean latency) as offered load rises."""
+    """Fig 7: (achieved throughput, mean latency) as offered load rises.
+
+    The capacity probe runs first (it anchors every point's rate); the
+    points themselves fan out across ``jobs`` worker processes.
+    """
+    from .parallel import RunSpec, execute_specs
+
     scale = scale or current_scale()
     capacity = probe_capacity(protocol, payload, scale, f, exec_cost)
-    rows = []
+    duration = max(0.6, scale.duration / 2)
+    specs = []
     for i in range(scale.rate_points):
         fraction = 0.15 + (1.05 - 0.15) * i / max(1, scale.rate_points - 1)
-        rate = fraction * capacity
-        deployment = make_deployment(
-            protocol, payload, scale, f=f, exec_cost=exec_cost
+        specs.append(
+            RunSpec(
+                kind="curve-point", protocol=protocol, payload=payload,
+                rate=fraction * capacity, f=f, exec_cost=exec_cost,
+                scale=scale, duration=duration, warmup=duration * 0.25,
+            )
         )
-        duration = max(0.6, scale.duration / 2)
-        result = _execute_run(
-            deployment,
-            static_profile(rate, duration),
-            duration=duration,
-            warmup=duration * 0.25,
-        )
-        rows.append(
-            {
-                "offered": rate,
-                "throughput": result.completed_rate,
-                "latency_ms": result.mean_latency * 1e3,
-            }
-        )
-    return rows
+    results = execute_specs(specs, jobs=jobs)
+    return [
+        {
+            "offered": spec.rate,
+            "throughput": result.completed_rate,
+            "latency_ms": result.mean_latency * 1e3,
+        }
+        for spec, result in zip(specs, results)
+    ]
 
 
 def monitoring_view(
@@ -576,13 +693,32 @@ def unfair_primary_run(
     }
 
 
-def table1(scale: Optional[ScenarioScale] = None) -> Dict[str, float]:
-    """Table I: maximum throughput degradation of the three baselines."""
+def table1(
+    scale: Optional[ScenarioScale] = None, jobs: Optional[int] = None
+) -> Dict[str, float]:
+    """Table I: maximum throughput degradation of the three baselines.
+
+    All three protocols' sweeps are enumerated up front and executed as
+    one fan-out, so the pool sees the whole table's worth of runs.
+    """
+    from .parallel import execute_specs
+
     scale = scale or current_scale()
-    degradations = {}
-    for protocol in ("prime", "aardvark", "spinning"):
+    protocols = ("prime", "aardvark", "spinning")
+    specs = []
+    for protocol in protocols:
         exec_cost = 1e-4 if protocol == "prime" else 20e-6
-        rows = attack_sweep(protocol, scale=scale, exec_cost=exec_cost)
+        specs.extend(
+            _sweep_specs(protocol, scale, "default", 1, exec_cost)
+        )
+    results = execute_specs(specs, jobs=jobs)
+    per_protocol = 4 * len(scale.sizes)
+    degradations = {}
+    for index, protocol in enumerate(protocols):
+        rows = _sweep_rows(
+            scale,
+            results[index * per_protocol : (index + 1) * per_protocol],
+        )
         worst = min(
             min(row["static_pct"], row["dynamic_pct"]) for row in rows
         )

@@ -25,7 +25,8 @@ import json
 import time
 from typing import Dict, List, Optional
 
-from .runner import probe_capacity, relative_throughput, run_static
+from .parallel import RunSpec, execute_specs
+from .runner import _relative_pct, probe_capacity
 from .scale import SMOKE, ScenarioScale
 
 __all__ = ["SMOKE_BOUNDS", "run_smoke", "check_bounds", "write_smoke"]
@@ -44,16 +45,33 @@ SMOKE_BOUNDS: Dict[str, float] = {
 }
 
 
-def run_smoke(scale: Optional[ScenarioScale] = None, seed: int = 0) -> dict:
-    """Execute the smoke subset and return the benchmark record."""
+def run_smoke(
+    scale: Optional[ScenarioScale] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> dict:
+    """Execute the smoke subset and return the benchmark record.
+
+    The fault-free and attacked runs are independent given the probed
+    capacity, so they fan out across ``jobs`` worker processes (the
+    fault-free run doubles as the fig7 point and the fig8 reference —
+    the runs are deterministic, so one run *is* the other).
+    """
     scale = scale or SMOKE
     t0 = time.perf_counter()
 
     capacity = probe_capacity("rbft", 8, scale, f=1, seed=seed)
-    fig7 = run_static("rbft", payload=8, scale=scale, seed=seed)
-    pct, fault_free, attacked = relative_throughput(
-        "rbft", 8, scale=scale, attack="rbft-worst1", seed=seed
+    fault_free, attacked = execute_specs(
+        [
+            RunSpec(kind="static", protocol="rbft", payload=8,
+                    seed=seed, scale=scale),
+            RunSpec(kind="static", protocol="rbft", payload=8,
+                    attack="rbft-worst1", seed=seed, scale=scale),
+        ],
+        jobs=jobs,
     )
+    fig7 = fault_free
+    pct = _relative_pct(attacked, fault_free)
     wall = time.perf_counter() - t0
 
     ratio = (
@@ -125,9 +143,10 @@ def write_smoke(
     output: str = "BENCH_smoke.json",
     scale: Optional[ScenarioScale] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> int:
     """Run, write the artifact, print a summary; non-zero on violation."""
-    record = run_smoke(scale=scale, seed=seed)
+    record = run_smoke(scale=scale, seed=seed, jobs=jobs)
     violations = check_bounds(record)
     record["violations"] = violations
     with open(output, "w", encoding="utf-8") as fileobj:

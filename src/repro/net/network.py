@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from heapq import heappush
 from typing import Callable, Iterable, Optional
 
 from repro.sim.engine import Simulator
@@ -61,6 +62,8 @@ class Channel:
         "_last_delivery",
         "delivered",
         "dropped",
+        "_sim",
+        "_rng",
     )
 
     def __init__(
@@ -85,25 +88,29 @@ class Channel:
         self._last_delivery = 0.0
         self.delivered = 0
         self.dropped = 0
+        # Cached one level up from ``network`` — both are fixed for the
+        # network's lifetime and this is the hottest path in the model.
+        self._sim = network.sim
+        self._rng = network.rng
 
     def send(self, msg: Message) -> None:
         """Transmit ``msg``; the receiver's handler fires on delivery."""
-        tx_done = self.src_nic.reserve_tx(msg.wire_size())
-        self._deliver_from(msg, tx_done)
-
-    def _deliver_from(self, msg: Message, tx_done: float) -> None:
-        """Propagate a message whose transmission completes at ``tx_done``."""
-        sim = self.network.sim
         size = msg.wire_size()
-        arrival = tx_done + self.profile.latency
-        rng = self.network.rng
-        if self.profile.jitter > 0:
-            arrival += rng.random() * self.profile.jitter
+        self._deliver_from(msg, self.src_nic.reserve_tx(size), size)
+
+    def _deliver_from(self, msg: Message, tx_done: float, size: int) -> None:
+        """Propagate a message whose transmission completes at ``tx_done``."""
+        sim = self._sim
+        profile = self.profile
+        arrival = tx_done + profile.latency
+        rng = self._rng
+        if profile.jitter > 0:
+            arrival += rng.random() * profile.jitter
         tracer = sim.tracer
         tracing = tracer is not None and tracer.enabled
         if self.tcp:
-            arrival += self.profile.tcp_overhead
-        elif self.profile.udp_loss > 0 and rng.random() < self.profile.udp_loss:
+            arrival += profile.tcp_overhead
+        elif profile.udp_loss > 0 and rng.random() < profile.udp_loss:
             self.dropped += 1
             if tracing:
                 tracer.emit(
@@ -111,9 +118,10 @@ class Channel:
                     dst=self.dst, size=size, reason="udp-loss",
                 )
             return
-        if arrival < self.dst_nic.closed_until:
+        dst_nic = self.dst_nic
+        if arrival < dst_nic.closed_until:
             # The receiver closed this NIC: hardware drop, zero cost.
-            self.dst_nic.note_dropped()
+            dst_nic.note_dropped()
             self.dropped += 1
             if tracing:
                 tracer.emit(
@@ -121,7 +129,7 @@ class Channel:
                     dst=self.dst, size=size, reason="nic-closed",
                 )
             return
-        deliver_at = self.dst_nic.reserve_rx(size, arrival)
+        deliver_at = dst_nic.reserve_rx(size, arrival)
         if self.tcp and deliver_at < self._last_delivery:
             deliver_at = self._last_delivery  # FIFO guarantee
         self._last_delivery = deliver_at
@@ -131,7 +139,9 @@ class Channel:
                 sim.now, "chan.deliver", self.src,
                 dst=self.dst, size=size, at=deliver_at,
             )
-        sim.call_at(deliver_at, self.handler, msg)
+        # Deliveries are never cancelled: anonymous fast path, inlined.
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (deliver_at, seq, self.handler, (msg,)))
 
     def __repr__(self) -> str:
         return "Channel(%s->%s, %s)" % (self.src, self.dst, "tcp" if self.tcp else "udp")
@@ -174,6 +184,7 @@ class Network:
         channels = list(channels)
         if not channels:
             return
-        tx_done = channels[0].src_nic.reserve_tx(msg.wire_size())
+        size = msg.wire_size()
+        tx_done = channels[0].src_nic.reserve_tx(size)
         for channel in channels:
-            channel._deliver_from(msg, tx_done)
+            channel._deliver_from(msg, tx_done, size)

@@ -52,13 +52,14 @@ class NIC:
     # -------------------------------------------------------------- transmit
     def reserve_tx(self, size: int) -> float:
         """Queue ``size`` bytes for transmission; return completion time."""
-        now = self.sim.now
+        sim = self.sim
+        now = sim.now
         start = now if now > self.tx_free_at else self.tx_free_at
         done = start + size / self.bandwidth
         self.tx_free_at = done
         self.bytes_tx += size
         self.msgs_tx += 1
-        tracer = self.sim.tracer
+        tracer = sim.tracer
         if tracer is not None and tracer.enabled:
             tracer.emit(now, "nic.tx", self.name, size=size, done=done)
         return done

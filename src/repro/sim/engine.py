@@ -10,6 +10,17 @@ generator processes.
 Determinism: the queue breaks time ties with a monotonically increasing
 sequence number, so two runs with the same seed replay the exact same
 schedule.
+
+Performance: every heap entry is a 4-tuple ``(time, seq, target, args)``.
+``args is None`` marks a :class:`Handle` or :class:`Event` target, which
+is dispatched through its ``_dispatch`` method; otherwise ``target`` is
+a bare callable invoked as ``target(*args)`` — the *anonymous fast path*
+used by schedulers that never need to cancel (core completions, channel
+deliveries, process resumption).  The fast path skips the Handle
+allocation, its ``__init__`` frame and the cancelled/done bookkeeping,
+which together dominate per-event cost in saturated runs.  The sequence
+number is unique, so tuple comparison never reaches the heterogeneous
+third element.
 """
 
 from __future__ import annotations
@@ -64,6 +75,10 @@ class Handle:
         self.done = True
         self.fn(*self.args)
 
+    #: uniform dispatch protocol shared with :class:`Event`, so the run
+    #: loop never needs an ``isinstance`` branch.
+    _dispatch = _fire
+
 
 class Event:
     """A one-shot occurrence other actors can wait on.
@@ -88,7 +103,10 @@ class Event:
         self.triggered = True
         self.ok = True
         self.value = value
-        self.sim._schedule_event(self)
+        # _schedule_event, inlined: triggering is a hot path.
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heapq.heappush(sim._heap, (sim.now, seq, self, None))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -113,6 +131,9 @@ class Event:
             for fn in callbacks:
                 fn(self)
 
+    #: uniform dispatch protocol shared with :class:`Handle`.
+    _dispatch = _process
+
 
 class Timeout(Event):
     """An event that succeeds after a fixed virtual-time delay."""
@@ -122,11 +143,15 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError("negative timeout delay: %r" % delay)
-        super().__init__(sim)
+        # Event.__init__ and _schedule_event, inlined: load generators
+        # create one Timeout per request, making this a hot path.
+        self.sim = sim
+        self.callbacks = []
         self.triggered = True
         self.ok = True
         self.value = value
-        sim._schedule_event(self, delay)
+        sim._seq = seq = sim._seq + 1
+        heapq.heappush(sim._heap, (sim.now + delay, seq, self, None))
 
 
 class AllOf(Event):
@@ -193,8 +218,10 @@ class Process(Event):
         self._gen = gen
         self._waiting_on: Optional[Event] = None
         self.name = name or getattr(gen, "__name__", "process")
-        # Start on the next queue drain, at the current time.
-        sim.call_after(0.0, self._resume, None)
+        # Start on the next queue drain, at the current time.  Anonymous
+        # fast path: a process start is never cancelled, only the process
+        # itself can be interrupted once running.
+        sim.call_soon(self._resume, None)
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at its wait point."""
@@ -207,7 +234,7 @@ class Process(Event):
                 waiting.callbacks.remove(self._on_event)
             except ValueError:
                 pass
-        self.sim.call_after(0.0, self._throw, Interrupt(cause))
+        self.sim.call_soon(self._throw, Interrupt(cause))
 
     def _on_event(self, event: Event) -> None:
         if self._waiting_on is not event:
@@ -228,7 +255,20 @@ class Process(Event):
             return
         except Interrupt:
             raise
-        self._wait_for(target)
+        # _wait_for, inlined: one resume per yielded event makes the
+        # extra frames (wait_for + add_callback) measurable.
+        if not isinstance(target, Event):
+            raise TypeError(
+                "process %r yielded %r; processes must yield Event objects"
+                % (self.name, target)
+            )
+        self._waiting_on = target
+        callbacks = target.callbacks
+        if callbacks is None:
+            # Already processed: fire immediately, preserving causal order.
+            self._on_event(target)
+        else:
+            callbacks.append(self._on_event)
 
     def _throw(self, exc: BaseException) -> None:
         if self.triggered:
@@ -258,6 +298,9 @@ class Simulator:
         self._heap: List[tuple] = []
         self._seq = 0
         self._running = False
+        #: total queue items dispatched over the simulator's lifetime
+        #: (includes cancelled handles popped off the heap).
+        self.dispatched = 0
         #: optional :class:`repro.trace.Tracer`; None (the default) keeps
         #: every instrumented call site on its no-allocation fast path.
         self.tracer = None
@@ -271,16 +314,37 @@ class Simulator:
             )
         handle = Handle(self, time, fn, args)
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, handle))
+        heapq.heappush(self._heap, (time, self._seq, handle, None))
         return handle
 
     def call_after(self, delay: float, fn: Callable, *args: Any) -> Handle:
         """Schedule ``fn(*args)`` after a relative delay."""
         return self.call_at(self.now + delay, fn, *args)
 
+    def call_soon(self, fn: Callable, *args: Any) -> None:
+        """Anonymous fast path: run ``fn(*args)`` on the next queue drain.
+
+        Unlike :meth:`call_after` this allocates no :class:`Handle`, so
+        the callback cannot be cancelled.  FIFO order with everything
+        else scheduled at the current time is preserved (the shared
+        sequence number breaks the tie).
+        """
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now, self._seq, fn, args))
+
+    def call_anon(self, time: float, fn: Callable, args: tuple) -> None:
+        """Anonymous fast path at an absolute time, for hot schedulers.
+
+        The caller guarantees ``time >= now`` (e.g. a core completion or
+        a channel delivery horizon); the past-scheduling check, the
+        Handle allocation and cancellation support are all skipped.
+        """
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn, args))
+
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event, None))
 
     # -------------------------------------------------------------- factories
     def event(self) -> Event:
@@ -308,34 +372,67 @@ class Simulator:
         if self._running:
             raise RuntimeError("simulator is already running")
         self._running = True
-        heap = self._heap
         # Hoisted once: attach a tracer *before* run() (re-checking the
         # attribute per dispatch would tax every untraced run).
         tracer = self.tracer
         tracing = tracer is not None and tracer.enabled
+        # Bind the heap and the heap primitives to locals: the loop body
+        # is small enough that global/attribute lookups are measurable.
+        heap = self._heap
+        pop = heapq.heappop
+        push = heapq.heappush
+        limit = until if until is not None else float("inf")
+        count = self.dispatched
         try:
-            while heap:
-                time, _seq, item = heap[0]
-                if until is not None and time > until:
-                    break
-                heapq.heappop(heap)
-                self.now = time
-                if isinstance(item, Event):
-                    if tracing:
-                        tracer.emit(time, "sim.dispatch", type(item).__name__)
-                    item._process()
-                else:
-                    if tracing:
-                        fn = item.fn
+            if tracing:
+                while heap:
+                    entry = pop(heap)
+                    time = entry[0]
+                    if time > limit:
+                        push(heap, entry)
+                        break
+                    self.now = time
+                    count += 1
+                    target, args = entry[2], entry[3]
+                    if args is not None:
+                        tracer.emit(
+                            time,
+                            "sim.dispatch",
+                            getattr(target, "__qualname__", repr(target)),
+                        )
+                        target(*args)
+                    elif type(target) is Handle:
+                        fn = target.fn
                         tracer.emit(
                             time,
                             "sim.dispatch",
                             getattr(fn, "__qualname__", repr(fn)),
-                            cancelled=item.cancelled,
+                            cancelled=target.cancelled,
                         )
-                    item._fire()
+                        target._fire()
+                    else:
+                        tracer.emit(time, "sim.dispatch", type(target).__name__)
+                        target._dispatch()
+            else:
+                # The hot loop: pop once (no peek-then-pop double heap
+                # traversal); a popped entry beyond the limit is pushed
+                # back, which happens at most once per run() call.
+                while heap:
+                    entry = pop(heap)
+                    time = entry[0]
+                    if time > limit:
+                        push(heap, entry)
+                        break
+                    self.now = time
+                    count += 1
+                    args = entry[3]
+                    if args is None:
+                        entry[2]._dispatch()
+                    else:
+                        entry[2](*args)
         finally:
             self._running = False
+            self.dispatched = count
         if until is not None and self.now < until:
             self.now = until
 

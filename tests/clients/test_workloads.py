@@ -123,3 +123,22 @@ def test_dynamic_profile_scales_to_any_duration(duration):
     assert profile.active(duration * 0.5) == 50
     assert 1 <= profile.active(duration * 0.999) <= 10
     assert profile.rate(duration * 0.5) == 500.0
+
+
+def test_static_profile_mean_rate_equals_rate():
+    profile = static_profile(1000.0, duration=2.0)
+    assert profile.mean_rate() == pytest.approx(1000.0)
+
+
+def test_dynamic_profile_mean_rate_reflects_spike():
+    per_client = 100.0
+    profile = dynamic_profile(per_client, duration=10.0)
+    mean = profile.mean_rate()
+    # The spike phase (50 clients for 20 % of the run) pushes the true
+    # average well above the 10-client plateau rate...
+    assert mean > 10 * per_client
+    # ...but the ramps keep it below a full-run 50-client load.
+    assert mean < 50 * per_client
+    # Piecewise-constant integral: ramps average ~5.5 clients for 60 %,
+    # plateaus 10 for 20 %, spike 50 for 20 % => ~15.3 clients.
+    assert mean == pytest.approx(15.3 * per_client, rel=0.05)

@@ -65,9 +65,19 @@ def test_attack_name_resolution():
 def test_probe_capacity_cached():
     _capacity_cache.clear()
     first = probe_capacity("pbft", 8, FAST)
-    assert ("pbft", 8, 1, 20e-6, "test") in _capacity_cache
+    assert ("pbft", 8, 1, 20e-6, "test", 0) in _capacity_cache
     second = probe_capacity("pbft", 8, FAST)
     assert first == second
+
+
+def test_probe_capacity_key_includes_seed():
+    # Two sweeps probing under different seeds are different
+    # measurements; the cache must not hand one the other's value.
+    _capacity_cache.clear()
+    probe_capacity("pbft", 8, FAST, seed=0)
+    _capacity_cache[("pbft", 8, 1, 20e-6, "test", 7)] = 123.0
+    assert probe_capacity("pbft", 8, FAST, seed=7) == 123.0
+    assert probe_capacity("pbft", 8, FAST, seed=0) != 123.0
 
 
 def test_run_static_returns_populated_result():
@@ -78,6 +88,18 @@ def test_run_static_returns_populated_result():
     assert result.executed_rate > 1000.0
     assert result.completed > 0
     assert result.mean_latency > 0
+
+
+def test_run_dynamic_reports_true_offered_rate():
+    from repro.clients import dynamic_profile
+    from repro.experiments import run_dynamic
+
+    result = run_dynamic("pbft", 8, per_client_rate=500.0, scale=FAST)
+    profile = dynamic_profile(500.0, FAST.duration, spike_clients=50)
+    # The spike profile averages ~15.3 active clients, not 10: the
+    # reported offered rate is the profile's true time average.
+    assert result.offered_rate == pytest.approx(profile.mean_rate())
+    assert result.offered_rate > 500.0 * 10
 
 
 def test_current_scale_reads_environment(monkeypatch):

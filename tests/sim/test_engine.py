@@ -283,3 +283,95 @@ def test_determinism_same_schedule_twice():
         return trace
 
     assert build_and_run() == build_and_run()
+
+
+# ------------------------------------------------------- run(until) composition
+def test_run_until_event_exactly_at_limit_fires():
+    sim = Simulator()
+    fired = []
+    sim.call_after(2.0, fired.append, "on-limit")
+    sim.call_after(2.0 + 1e-9, fired.append, "past-limit")
+    sim.run(until=2.0)
+    assert fired == ["on-limit"]
+    assert sim.now == 2.0
+
+
+def test_run_until_segments_compose():
+    sim = Simulator()
+    fired = []
+    for t in (0.5, 1.5, 2.5, 3.5):
+        sim.call_at(t, fired.append, t)
+    sim.run(until=1.0)
+    assert fired == [0.5] and sim.now == 1.0
+    sim.run(until=2.0)
+    assert fired == [0.5, 1.5] and sim.now == 2.0
+    # A run over an empty stretch still lands exactly on its limit...
+    sim.run(until=2.2)
+    assert fired == [0.5, 1.5] and sim.now == 2.2
+    # ...and the remaining events are neither lost nor re-fired.
+    sim.run()
+    assert fired == [0.5, 1.5, 2.5, 3.5] and sim.now == 3.5
+
+
+def test_run_until_pushed_back_entry_survives_for_next_run():
+    # The hot loop pops the first beyond-limit entry and pushes it back;
+    # a subsequent run() must still dispatch it exactly once.
+    sim = Simulator()
+    fired = []
+    sim.call_after(1.0, fired.append, "x")
+    sim.run(until=0.25)
+    sim.run(until=0.5)  # pops + pushes back "x" again
+    assert fired == []
+    sim.run(until=1.0)
+    assert fired == ["x"]
+
+
+# ----------------------------------------------------- anonymous fast path
+def test_call_soon_runs_fifo_with_handles_at_same_time():
+    # Ties at equal times break by scheduling sequence, regardless of
+    # whether the entry is a Handle or an anonymous fast-path callback.
+    sim = Simulator()
+    order = []
+
+    def kickoff():
+        sim.call_after(0.0, order.append, "handle-1")
+        sim.call_soon(order.append, "anon-1")
+        sim.call_after(0.0, order.append, "handle-2")
+        sim.call_soon(order.append, "anon-2")
+
+    sim.call_soon(kickoff)
+    sim.run()
+    assert order == ["handle-1", "anon-1", "handle-2", "anon-2"]
+
+
+def test_call_anon_orders_by_time_then_sequence():
+    sim = Simulator()
+    order = []
+    sim.call_anon(2.0, order.append, ("late",))
+    sim.call_anon(1.0, order.append, ("early-1",))
+    sim.call_anon(1.0, order.append, ("early-2",))
+    sim.call_at(1.0, order.append, "handle-last")
+    sim.run()
+    assert order == ["early-1", "early-2", "handle-last", "late"]
+
+
+def test_call_soon_counts_in_dispatched_and_peek():
+    sim = Simulator()
+    sim.call_soon(lambda: None)
+    assert sim.peek() == 0.0
+    before = sim.dispatched
+    sim.run()
+    assert sim.dispatched == before + 1
+
+
+def test_handle_cancel_between_run_segments():
+    # Cancellation must keep working alongside the fast-path entries:
+    # cancelled handles are popped and skipped, anonymous entries fire.
+    sim = Simulator()
+    fired = []
+    handle = sim.call_after(1.0, fired.append, "cancelled")
+    sim.call_anon(1.0, fired.append, ("kept",))
+    sim.run(until=0.5)
+    handle.cancel()
+    sim.run()
+    assert fired == ["kept"]
