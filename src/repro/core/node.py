@@ -382,6 +382,7 @@ class RBFTNode:
             tracer.emit(
                 self.sim.now, "node.stage", self.name,
                 stage="execution", client=request.client,
+                rid=request.rid,
             )
         reply = Reply(self.name, request.client, request.rid, result, result_size)
         self.reply_cache[request.client] = (request.rid, reply)
@@ -431,6 +432,12 @@ class RBFTNode:
             if self._ic_votes.count((self.cpi, choice)) <= self.config.f:
                 return
         self._voted_choice[self.cpi] = choice
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                self.sim.now, "node.ic-vote", self.name,
+                reason=reason, cpi=self.cpi, choice=choice,
+            )
         msg = InstanceChangeMsg(
             self.name, self.cpi, MacAuthenticator(self.name), preferred_master=choice
         )
@@ -457,7 +464,10 @@ class RBFTNode:
             self.monitor.observes_breach() or support > self.config.f
         ):
             choice = msg.preferred_master if support > self.config.f else None
-            self.vote_instance_change("join", choice=choice)
+            # "join-breach": this node's own monitor also saw a violation;
+            # "join-support": it trusts the f+1 (≥1 correct) votes instead.
+            reason = "join-breach" if self.monitor.observes_breach() else "join-support"
+            self.vote_instance_change(reason, choice=choice)
         elif support > self.config.f and self._voted_choice.get(msg.cpi) != msg.preferred_master:
             self.vote_instance_change("adopt", choice=msg.preferred_master)
 

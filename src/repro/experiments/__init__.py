@@ -23,7 +23,7 @@ from .runner import (
     unfair_primary_run,
 )
 from .kernelbench import check_regression, run_kernel_bench, write_kernel_bench
-from .parallel import RunSpec, execute_specs, resolve_jobs
+from .parallel import RunSpec, execute_specs, execute_tasks, resolve_jobs
 from .profiling import profile_report, profile_run
 from .scale import FULL, QUICK, SMOKE, ScenarioScale, current_scale
 from .smoke import check_bounds, run_smoke, write_smoke
@@ -63,6 +63,7 @@ __all__ = [
     "write_kernel_bench",
     "RunSpec",
     "execute_specs",
+    "execute_tasks",
     "resolve_jobs",
     "SweepResult",
     "seed_sweep",

@@ -192,6 +192,57 @@ def _cmd_bench(args) -> int:
     )
 
 
+def _cmd_explore(args) -> int:
+    from repro.verify import explore
+
+    report = explore(
+        args.seed,
+        episodes=args.episodes,
+        jobs=args.jobs,
+        out_dir=args.out,
+        duration=args.duration,
+        rate=args.rate,
+    )
+    for index, result in enumerate(report.results):
+        status = "ok" if result.ok else "VIOLATION"
+        plan = ", ".join(spec.kind for spec in result.spec.plan) or "(no faults)"
+        print("episode %04d  seed=%-10d  %-42s %s"
+              % (index, result.spec.seed, plan, status))
+    print("%d/%d episodes passed" % (
+        len(report.results) - len(report.failures), len(report.results)
+    ))
+    for spec, result in report.counterexamples:
+        plan = ", ".join(s.kind for s in spec.plan) or "(no faults)"
+        print("counterexample: seed=%d plan=[%s] violates %s"
+              % (spec.seed, plan, ", ".join(sorted(result.violated()))))
+    if report.artifacts:
+        print("wrote %d artifacts under %s" % (len(report.artifacts), args.out))
+    if args.check and not report.ok:
+        return 1
+    return 0
+
+
+def _cmd_check(args) -> int:
+    from repro.verify import check_replay
+
+    if not args.replay:
+        print("check: --replay <episode.json> is required", file=sys.stderr)
+        return 2
+    verdict = check_replay(args.replay)
+    print("replay %s" % verdict["path"])
+    print("  digest   %s" % verdict["digest"])
+    print("  recorded %s" % verdict["recorded_digest"])
+    print("  violations: %s (recorded: %s)" % (
+        ", ".join(verdict["violations"]) or "none",
+        ", ".join(verdict["recorded_violations"]) or "none",
+    ))
+    if not verdict["match"]:
+        print("  MISMATCH: the replay diverged from the recorded episode")
+        return 1
+    print("  byte-identical replay")
+    return 0
+
+
 COMMANDS = {
     "table1": (_cmd_table1, "Table I: baseline worst-case degradations"),
     "fig1": (_cmd_fig1, "Prime under attack"),
@@ -270,6 +321,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="fail (exit 1) when events/sec regresses more "
                        "than 20%% below the baseline")
 
+    explore = sub.add_parser(
+        "explore",
+        help="run seeded fault-space episodes with online invariants",
+    )
+    explore.add_argument("--episodes", type=int, default=20,
+                         help="number of episodes to derive and run")
+    explore.add_argument("--seed", type=int, default=0,
+                         help="master seed the episodes derive from")
+    explore.add_argument("--out", default=None, metavar="DIR",
+                         help="write episode/counterexample JSON artifacts")
+    explore.add_argument("--duration", type=float, default=1.0,
+                         help="load window per episode, simulated seconds")
+    explore.add_argument("--rate", type=float, default=1500.0,
+                         help="offered load per episode, requests/second")
+    explore.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: REPRO_JOBS or "
+                         "cpu_count()-1; 1 = serial)")
+    explore.add_argument("--check", action="store_true",
+                         help="exit 1 if any episode violates an invariant")
+
+    check = sub.add_parser(
+        "check",
+        help="re-run a recorded episode and compare invariant digests",
+    )
+    check.add_argument("--replay", required=True, metavar="PATH",
+                       help="episode or counterexample JSON artifact")
+
     args = parser.parse_args(argv)
     if args.command == "profile":
         return _cmd_profile(args)
@@ -277,6 +355,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_smoke(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "explore":
+        return _cmd_explore(args)
+    if args.command == "check":
+        return _cmd_check(args)
     COMMANDS[args.command][0](args)
     return 0
 

@@ -43,7 +43,7 @@ from repro.clients import static_profile
 from . import runner
 from .scale import ScenarioScale, current_scale
 
-__all__ = ["RunSpec", "resolve_jobs", "execute_specs"]
+__all__ = ["RunSpec", "resolve_jobs", "execute_specs", "execute_tasks"]
 
 
 @dataclass(frozen=True)
@@ -158,6 +158,34 @@ def _worker_init(cache_path: str) -> None:
     # Mostly redundant under fork (the env is inherited) but makes the
     # sharing explicit and keeps spawn-based platforms working.
     os.environ["REPRO_CAPACITY_CACHE"] = cache_path
+
+
+def _call_task(task):
+    """Invoke one task.  Must stay module-level (picklable)."""
+    return task()
+
+
+def execute_tasks(tasks: Iterable, jobs: Optional[int] = None) -> List:
+    """Generic fan-out: run picklable nullary callables, results in order.
+
+    The simpler sibling of :func:`execute_specs` for workloads with no
+    shared capacity cache — the explorer's episode batches, for one.
+    Same degradation contract: if no pool can be set up (or it dies),
+    the tasks run serially in the parent with identical results.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [task() for task in tasks]
+
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            return list(pool.map(_call_task, tasks))
+    except (BrokenProcessPool, OSError, PermissionError):
+        return [task() for task in tasks]
 
 
 def execute_specs(

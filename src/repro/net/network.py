@@ -42,6 +42,7 @@ class LinkProfile:
     jitter: float = 10e-6  # uniform [0, jitter) added per message
     tcp_overhead: float = 45e-6  # extra per-message latency under TCP
     udp_loss: float = 0.0  # drop probability under UDP
+    udp_duplicate: float = 0.0  # duplicate-delivery probability under UDP
 
 
 LAN = LinkProfile()
@@ -59,9 +60,11 @@ class Channel:
         "profile",
         "tcp",
         "handler",
+        "intercept",
         "_last_delivery",
         "delivered",
         "dropped",
+        "duplicated",
         "_sim",
         "_rng",
     )
@@ -85,9 +88,16 @@ class Channel:
         self.profile = profile
         self.tcp = tcp
         self.handler = handler
+        #: optional fault-injection hook (see ``repro.verify.interceptor``):
+        #: when set, ``send`` hands the message to it instead of the wire;
+        #: the hook decides to drop, delay, duplicate or pass it through
+        #: via ``send_direct``.  ``None`` (the default) costs one slot
+        #: load per send.
+        self.intercept = None
         self._last_delivery = 0.0
         self.delivered = 0
         self.dropped = 0
+        self.duplicated = 0
         # Cached one level up from ``network`` — both are fixed for the
         # network's lifetime and this is the hottest path in the model.
         self._sim = network.sim
@@ -95,6 +105,15 @@ class Channel:
 
     def send(self, msg: Message) -> None:
         """Transmit ``msg``; the receiver's handler fires on delivery."""
+        hook = self.intercept
+        if hook is not None:
+            hook(self, msg)
+            return
+        size = msg.wire_size()
+        self._deliver_from(msg, self.src_nic.reserve_tx(size), size)
+
+    def send_direct(self, msg: Message) -> None:
+        """Transmit bypassing the intercept hook (the hook's exit path)."""
         size = msg.wire_size()
         self._deliver_from(msg, self.src_nic.reserve_tx(size), size)
 
@@ -108,16 +127,23 @@ class Channel:
             arrival += rng.random() * profile.jitter
         tracer = sim.tracer
         tracing = tracer is not None and tracer.enabled
+        copies = 1
         if self.tcp:
             arrival += profile.tcp_overhead
-        elif profile.udp_loss > 0 and rng.random() < profile.udp_loss:
-            self.dropped += 1
-            if tracing:
-                tracer.emit(
-                    sim.now, "chan.drop", self.src,
-                    dst=self.dst, size=size, reason="udp-loss",
-                )
-            return
+        else:
+            if profile.udp_loss > 0 and rng.random() < profile.udp_loss:
+                self.dropped += 1
+                if tracing:
+                    tracer.emit(
+                        sim.now, "chan.drop", self.src,
+                        dst=self.dst, size=size, reason="udp-loss",
+                    )
+                return
+            # Drawn only when the knob is set, so existing seeded runs
+            # replay byte-identically with the default profile.
+            if profile.udp_duplicate > 0 and rng.random() < profile.udp_duplicate:
+                copies = 2
+                self.duplicated += 1
         dst_nic = self.dst_nic
         if arrival < dst_nic.closed_until:
             # The receiver closed this NIC: hardware drop, zero cost.
@@ -129,19 +155,22 @@ class Channel:
                     dst=self.dst, size=size, reason="nic-closed",
                 )
             return
-        deliver_at = dst_nic.reserve_rx(size, arrival)
-        if self.tcp and deliver_at < self._last_delivery:
-            deliver_at = self._last_delivery  # FIFO guarantee
-        self._last_delivery = deliver_at
-        self.delivered += 1
-        if tracing:
-            tracer.emit(
-                sim.now, "chan.deliver", self.src,
-                dst=self.dst, size=size, at=deliver_at,
-            )
-        # Deliveries are never cancelled: anonymous fast path, inlined.
-        sim._seq = seq = sim._seq + 1
-        heappush(sim._heap, (deliver_at, seq, self.handler, (msg,)))
+        # ``copies`` is 2 when the switch duplicated a UDP datagram (no
+        # exactly-once guarantee); each copy pays its own reception.
+        for _ in range(copies):
+            deliver_at = dst_nic.reserve_rx(size, arrival)
+            if self.tcp and deliver_at < self._last_delivery:
+                deliver_at = self._last_delivery  # FIFO guarantee
+            self._last_delivery = deliver_at
+            self.delivered += 1
+            if tracing:
+                tracer.emit(
+                    sim.now, "chan.deliver", self.src,
+                    dst=self.dst, size=size, at=deliver_at,
+                )
+            # Deliveries are never cancelled: anonymous fast path, inlined.
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._heap, (deliver_at, seq, self.handler, (msg,)))
 
     def __repr__(self) -> str:
         return "Channel(%s->%s, %s)" % (self.src, self.dst, "tcp" if self.tcp else "udp")

@@ -437,6 +437,7 @@ class OrderingInstance:
             tracer.emit(
                 self.sim.now, "pbft.phase", self._trace_name,
                 phase="committed", seq=seq, view=view,
+                digest=repr(digest.token),
             )
         self._drain_ordered()
 
@@ -455,6 +456,7 @@ class OrderingInstance:
                 tracer.emit(
                     self.sim.now, "pbft.phase", self._trace_name,
                     phase="ordered", seq=seq, items=len(entry.items),
+                    rids=tuple(item.request_id for item in entry.items),
                 )
             for item in entry.items:
                 self._ordered_ids.add(item.request_id)
@@ -498,6 +500,12 @@ class OrderingInstance:
 
     def _catch_up(self, seq: int) -> None:
         """State transfer: adopt the service state up to ``seq``."""
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                self.sim.now, "pbft.state-transfer", self._trace_name,
+                src=self.next_exec, dst=seq + 1, via="weak-checkpoint",
+            )
         self.next_exec = seq + 1
         self.seq_assigned = max(self.seq_assigned, seq)
         for old_seq in [s for s in self.log if s <= seq]:
@@ -513,6 +521,12 @@ class OrderingInstance:
         if self.next_exec <= seq:
             # State transfer: 2f+1 replicas are past this checkpoint, so
             # fast-forward rather than wait for garbage-collected batches.
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.emit(
+                    self.sim.now, "pbft.state-transfer", self._trace_name,
+                    src=self.next_exec, dst=seq + 1, via="stable-checkpoint",
+                )
             self.next_exec = seq + 1
         for old_seq in [s for s in self.log if s <= seq]:
             entry = self.log.pop(old_seq)

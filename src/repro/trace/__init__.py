@@ -22,6 +22,7 @@ from .events import (
     K_CHANNEL_DELIVER,
     K_CHANNEL_DROP,
     K_CORE_JOB,
+    K_IC_VOTE,
     K_INSTANCE_CHANGE,
     K_MONITOR_TICK,
     K_MONITOR_TRIGGER,
@@ -31,6 +32,7 @@ from .events import (
     K_PHASE,
     K_SIM_DISPATCH,
     K_STAGE,
+    K_STATE_TRANSFER,
     K_VIEW_CHANGE,
     TraceEvent,
 )
@@ -74,6 +76,8 @@ __all__ = [
     "K_MONITOR_TICK",
     "K_MONITOR_TRIGGER",
     "K_INSTANCE_CHANGE",
+    "K_IC_VOTE",
     "K_PHASE",
     "K_VIEW_CHANGE",
+    "K_STATE_TRANSFER",
 ]

@@ -33,8 +33,10 @@ __all__ = [
     "K_MONITOR_TICK",
     "K_MONITOR_TRIGGER",
     "K_INSTANCE_CHANGE",
+    "K_IC_VOTE",
     "K_PHASE",
     "K_VIEW_CHANGE",
+    "K_STATE_TRANSFER",
 ]
 
 #: the sim kernel dispatched one queued callback/event
@@ -59,10 +61,14 @@ K_MONITOR_TICK = "monitor.tick"
 K_MONITOR_TRIGGER = "monitor.trigger"
 #: 2f+1 INSTANCE-CHANGEs completed (fields: cpi, master)
 K_INSTANCE_CHANGE = "node.instance-change"
+#: a node emitted one INSTANCE-CHANGE vote (fields: reason, cpi, choice)
+K_IC_VOTE = "node.ic-vote"
 #: an ordering instance crossed a protocol phase (fields: phase, seq, view, items)
 K_PHASE = "pbft.phase"
 #: an ordering instance installed a new view (fields: view)
 K_VIEW_CHANGE = "pbft.view-change"
+#: a replica fast-forwarded past garbage-collected batches (fields: from, to)
+K_STATE_TRANSFER = "pbft.state-transfer"
 
 
 class TraceEvent:

@@ -1,0 +1,74 @@
+"""Deterministic fault-space exploration and online safety invariants.
+
+Three layers:
+
+* :mod:`repro.verify.invariants` — an :class:`InvariantSuite` that
+  attaches to a live deployment as a trace sink and continuously checks
+  ordering/execution agreement, commit-certificate validity and
+  monitoring consistency, with a running SHA-256 **invariant digest**
+  for byte-identical replay comparison;
+* :mod:`repro.verify.vocabulary` / :mod:`repro.verify.interceptor` — a
+  declarative, JSON-serializable fault vocabulary (the paper's attacks
+  plus crash/partition/delay/drop/duplicate via a channel-wrapping
+  interceptor);
+* :mod:`repro.verify.episode` / :mod:`repro.verify.explorer` — seeded
+  episodes as pure functions of an :class:`EpisodeSpec`, batch
+  exploration from a master seed with process fan-out, greedy plan
+  shrinking to a minimal counterexample, and JSON replay artifacts
+  (``python -m repro.experiments check --replay <file>``).
+
+See ``docs/testing.md`` for the workflow.
+"""
+
+from .episode import EpisodeResult, EpisodeSpec, run_episode
+from .explorer import (
+    ExplorationReport,
+    check_replay,
+    explore,
+    load_episode,
+    make_spec,
+    sample_plan,
+    shrink,
+    write_episode,
+)
+from .interceptor import NetworkInterceptor, Rule
+from .invariants import (
+    Checker,
+    CommitCertificate,
+    ExecutionConsistency,
+    InvariantSuite,
+    MonitoringConsistency,
+    OrderedBatchAgreement,
+    Violation,
+    default_checkers,
+)
+from .vocabulary import FAULT_KINDS, FaultSpec, PlanHandle, fault, install_plan
+
+__all__ = [
+    "EpisodeResult",
+    "EpisodeSpec",
+    "run_episode",
+    "ExplorationReport",
+    "check_replay",
+    "explore",
+    "load_episode",
+    "make_spec",
+    "sample_plan",
+    "shrink",
+    "write_episode",
+    "NetworkInterceptor",
+    "Rule",
+    "Checker",
+    "CommitCertificate",
+    "ExecutionConsistency",
+    "InvariantSuite",
+    "MonitoringConsistency",
+    "OrderedBatchAgreement",
+    "Violation",
+    "default_checkers",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "PlanHandle",
+    "fault",
+    "install_plan",
+]

@@ -1,0 +1,265 @@
+"""Seeded fault-space exploration with minimal-counterexample shrinking.
+
+:func:`explore` derives one deterministic episode per index from a
+master seed: a sampled fault plan (one or two faults with sampled
+parameters) against a sampled deployment seed.  Episodes fan out across
+worker processes via :func:`repro.experiments.parallel.execute_tasks`;
+results come back in index order, so a parallel exploration reports
+exactly what a serial one would.
+
+When an episode violates an invariant, the **shrinker** greedily
+removes one fault at a time, re-running the episode after each removal
+and keeping any removal that still reproduces a violation from the
+original set — ddmin's 1-minimal endpoint for plans of this size.  The
+shrunk episode is written as a JSON counterexample artifact that
+``python -m repro.experiments check --replay`` re-runs byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .episode import EpisodeResult, EpisodeSpec, run_episode
+from .vocabulary import FaultSpec
+
+__all__ = [
+    "sample_plan",
+    "make_spec",
+    "explore",
+    "shrink",
+    "ExplorationReport",
+    "write_episode",
+    "load_episode",
+    "check_replay",
+]
+
+
+# ------------------------------------------------------------- sampling
+def _sample_window(rng: random.Random, duration: float) -> Tuple[float, float]:
+    start = round(rng.uniform(0.1, 0.5 * duration), 3)
+    return start, round(start + rng.uniform(0.3, 0.8 * duration), 3)
+
+
+def _sample_fault(rng: random.Random, duration: float) -> FaultSpec:
+    kind = rng.choice(_SAMPLABLE)
+    if kind == "silent-replicas":
+        return FaultSpec(kind, {"node": 3})
+    if kind == "flooding-node":
+        return FaultSpec(kind, {"node": 3, "rate": rng.choice([2000.0, 3000.0])})
+    if kind == "throttled-master":
+        return FaultSpec(kind, {"rate": rng.choice([300.0, 400.0, 600.0])})
+    if kind == "mute-propagation":
+        return FaultSpec(kind, {"node": 3})
+    if kind == "junk-clients":
+        return FaultSpec(kind, {"count": rng.choice([3, 8])})
+    if kind == "rbft-worst1":
+        return FaultSpec(kind, {"flood_rate": 500.0})
+    if kind == "rbft-worst2":
+        return FaultSpec(kind, {"flood_rate": 500.0})
+    if kind == "crash":
+        at, until = _sample_window(rng, duration)
+        return FaultSpec(kind, {"node": rng.randrange(4), "at": at, "until": until})
+    if kind == "partition":
+        nodes = [0, 1, 2, 3]
+        _shuffle(rng, nodes)
+        cut = rng.choice([1, 2])
+        at, until = _sample_window(rng, duration)
+        return FaultSpec(kind, {
+            "groups": [sorted(nodes[:cut]), sorted(nodes[cut:])],
+            "at": at, "until": until,
+        })
+    if kind == "delay":
+        at, until = _sample_window(rng, duration)
+        return FaultSpec(kind, {
+            "extra": rng.choice([1e-3, 2e-3, 5e-3]),
+            "p": rng.choice([0.5, 1.0]),
+            "at": at, "until": until,
+        })
+    if kind == "drop":
+        at, until = _sample_window(rng, duration)
+        return FaultSpec(kind, {
+            "p": rng.choice([0.02, 0.05, 0.1]), "at": at, "until": until,
+        })
+    if kind == "duplicate":
+        return FaultSpec(kind, {"p": rng.choice([0.1, 0.3])})
+    raise AssertionError(kind)
+
+
+_SAMPLABLE = [
+    "silent-replicas", "flooding-node", "throttled-master",
+    "mute-propagation", "junk-clients", "rbft-worst1", "rbft-worst2",
+    "crash", "partition", "delay", "drop", "duplicate",
+]
+
+
+def _shuffle(rng: random.Random, values: List) -> None:
+    # Fisher-Yates with explicit draws: stable across Python versions
+    # (random.shuffle's draw pattern is an implementation detail).
+    for i in range(len(values) - 1, 0, -1):
+        j = rng.randrange(i + 1)
+        values[i], values[j] = values[j], values[i]
+
+
+def sample_plan(rng: random.Random, duration: float = 1.0,
+                max_faults: int = 2) -> Tuple[FaultSpec, ...]:
+    """One or more sampled faults; duplicate kinds collapse to one."""
+    count = 1 + (rng.random() < 0.4 if max_faults > 1 else 0)
+    plan: List[FaultSpec] = []
+    for _ in range(count):
+        spec = _sample_fault(rng, duration)
+        if all(existing.kind != spec.kind for existing in plan):
+            plan.append(spec)
+    return tuple(plan)
+
+
+def make_spec(master_seed: int, index: int, **overrides) -> EpisodeSpec:
+    """Derive episode ``index`` of the exploration deterministically."""
+    rng = random.Random((master_seed * 0x9E3779B1 + index * 0x85EBCA77 + 1) & 0x7FFFFFFF)
+    duration = overrides.get("duration", 1.0)
+    plan = sample_plan(rng, duration=duration)
+    return EpisodeSpec(
+        seed=rng.randrange(1 << 31),
+        plan=plan,
+        **overrides,
+    )
+
+
+# ------------------------------------------------------------ execution
+class _EpisodeTask:
+    """Picklable nullary callable for the process fan-out."""
+
+    def __init__(self, spec: EpisodeSpec, mutate: Optional[Callable] = None):
+        self.spec = spec
+        self.mutate = mutate
+
+    def __call__(self) -> EpisodeResult:
+        return run_episode(self.spec, mutate=self.mutate)
+
+
+@dataclass
+class ExplorationReport:
+    """What :func:`explore` found."""
+
+    master_seed: int
+    results: List[EpisodeResult] = field(default_factory=list)
+    counterexamples: List[Tuple[EpisodeSpec, EpisodeResult]] = field(
+        default_factory=list
+    )
+    artifacts: List[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[EpisodeResult]:
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def shrink(
+    spec: EpisodeSpec,
+    target: frozenset,
+    mutate: Optional[Callable] = None,
+    max_runs: int = 64,
+) -> Tuple[EpisodeSpec, EpisodeResult]:
+    """Greedily remove faults while a target violation still reproduces.
+
+    Returns the 1-minimal spec (no single further removal reproduces)
+    and its result.  ``target`` is the invariant-name set of the
+    original failure; any overlap counts as "still reproduces", so the
+    shrinker never trades the original bug for an unrelated one.
+    """
+    current = spec
+    result = run_episode(current, mutate=mutate)
+    runs = 1
+    progress = True
+    while progress and runs < max_runs:
+        progress = False
+        for index in range(len(current.plan)):
+            candidate = current.without_fault(index)
+            candidate_result = run_episode(candidate, mutate=mutate)
+            runs += 1
+            if candidate_result.violated() & target:
+                current, result = candidate, candidate_result
+                progress = True
+                break
+            if runs >= max_runs:
+                break
+    return current, result
+
+
+def write_episode(result: EpisodeResult, path: str) -> str:
+    with open(path, "w", encoding="utf-8") as fileobj:
+        json.dump(result.to_dict(), fileobj, indent=2, sort_keys=True)
+        fileobj.write("\n")
+    return path
+
+
+def load_episode(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fileobj:
+        return json.load(fileobj)
+
+
+def check_replay(path: str) -> Dict[str, Any]:
+    """Re-run a recorded episode; compare digests and verdicts."""
+    record = load_episode(path)
+    spec = EpisodeSpec.from_dict(record["spec"])
+    result = run_episode(spec)
+    recorded_digest = record.get("digest")
+    recorded_violations = frozenset(
+        v["invariant"] for v in record.get("violations", ())
+    )
+    return {
+        "path": path,
+        "match": result.digest == recorded_digest,
+        "digest": result.digest,
+        "recorded_digest": recorded_digest,
+        "violations": sorted(result.violated()),
+        "recorded_violations": sorted(recorded_violations),
+        "result": result,
+    }
+
+
+def explore(
+    master_seed: int,
+    episodes: int = 20,
+    jobs: Optional[int] = None,
+    out_dir: Optional[str] = None,
+    mutate: Optional[Callable] = None,
+    shrink_failures: bool = True,
+    **spec_overrides,
+) -> ExplorationReport:
+    """Run ``episodes`` derived episodes; shrink and record any failure."""
+    specs = [
+        make_spec(master_seed, index, **spec_overrides)
+        for index in range(episodes)
+    ]
+    from repro.experiments.parallel import execute_tasks
+
+    results = execute_tasks(
+        [_EpisodeTask(spec, mutate) for spec in specs], jobs=jobs
+    )
+    report = ExplorationReport(master_seed=master_seed, results=list(results))
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        for index, result in enumerate(results):
+            path = os.path.join(out_dir, "episode-%04d.json" % index)
+            report.artifacts.append(write_episode(result, path))
+    for index, result in enumerate(results):
+        if result.ok:
+            continue
+        if shrink_failures and len(result.spec.plan) > 1:
+            minimal_spec, minimal = shrink(
+                result.spec, result.violated(), mutate=mutate
+            )
+        else:
+            minimal_spec, minimal = result.spec, result
+        report.counterexamples.append((minimal_spec, minimal))
+        if out_dir:
+            path = os.path.join(out_dir, "counterexample-%04d.json" % index)
+            report.artifacts.append(write_episode(minimal, path))
+    return report

@@ -1,0 +1,227 @@
+"""The declarative fault vocabulary the explorer composes episodes from.
+
+A fault plan is a sequence of :class:`FaultSpec` values — pure data,
+JSON-serializable, picklable — and :func:`install_plan` wires each spec
+into a live deployment.  The vocabulary covers:
+
+* the five chaos faults the old hand-written suite used
+  (``silent-replicas``, ``flooding-node``, ``throttled-master``,
+  ``mute-propagation``, ``junk-clients``);
+* the paper's two worst-case RBFT adversaries (``rbft-worst1``,
+  ``rbft-worst2``, §VI-C) via :mod:`repro.faults.attacks`;
+* network faults through the interceptor: ``crash`` (isolate a node for
+  a window, then let it recover), ``partition``, ``delay``, ``drop``
+  and ``duplicate``.
+
+Installation classifies the touched nodes as *faulty* (excluded from the
+cross-replica safety comparisons) and decides whether client requests
+are still **expected to complete**: Byzantine behaviour within the fault
+model must not cost more than a few percent of completions (that is the
+paper's claim), but a crashed primary or a partition legitimately stalls
+requests for the duration of the window, so completion is only asserted
+for plans without network faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Set, Tuple
+
+from repro.faults import BatchPacer, Flooder
+from repro.faults.attacks import (
+    install_rbft_worst_attack_1,
+    install_rbft_worst_attack_2,
+)
+
+from .interceptor import NetworkInterceptor
+
+__all__ = ["FaultSpec", "fault", "PlanHandle", "install_plan", "FAULT_KINDS"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One named fault plus its parameters — pure, serializable data."""
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "FaultSpec":
+        return cls(record["kind"], dict(record.get("params") or {}))
+
+
+def fault(kind: str, **params) -> FaultSpec:
+    if kind not in FAULT_KINDS:
+        raise ValueError("unknown fault kind %r (known: %s)"
+                         % (kind, ", ".join(sorted(FAULT_KINDS))))
+    return FaultSpec(kind, params)
+
+
+@dataclass
+class PlanHandle:
+    """Everything a plan installation produced or decided."""
+
+    interceptor: NetworkInterceptor
+    faulty: Set[str] = field(default_factory=set)
+    client_send_kwargs: Dict[str, Any] = field(default_factory=dict)
+    expect_complete: bool = True
+    flooders: List[Flooder] = field(default_factory=list)
+    pacers: List[BatchPacer] = field(default_factory=list)
+
+
+# ------------------------------------------------------------- installers
+def _node_name(index: int) -> str:
+    return "node%d" % index
+
+
+def _install_silent_replicas(dep, params, handle: PlanHandle) -> None:
+    node = dep.nodes[params.get("node", 3)]
+    for engine in node.engines:
+        engine.silent = True
+    handle.faulty.add(node.name)
+
+
+def _install_flooding_node(dep, params, handle: PlanHandle) -> None:
+    node = dep.nodes[params.get("node", 3)]
+    victims = [other.name for other in dep.nodes if other is not node]
+    flooder = Flooder(node.machine, victims, rate=params.get("rate", 3000.0))
+    flooder.start()
+    handle.flooders.append(flooder)
+    handle.faulty.add(node.name)
+
+
+def _install_throttled_master(dep, params, handle: PlanHandle) -> None:
+    rate = params.get("rate", 400.0)
+    node = dep.nodes[0]  # hosts the master primary in view 0
+    pacer = BatchPacer(dep.sim, lambda: rate)
+    node.engines[0].preprepare_delay_fn = (
+        lambda msg: pacer.delay_for(len(msg.items))
+    )
+    handle.pacers.append(pacer)
+    handle.faulty.add(node.name)
+
+
+def _install_mute_propagation(dep, params, handle: PlanHandle) -> None:
+    node = dep.nodes[params.get("node", 3)]
+    node.propagate_silent = True
+    handle.faulty.add(node.name)
+
+
+def _install_junk_clients(dep, params, handle: PlanHandle) -> None:
+    # client0 misbehaves; episode load always runs on clients[1:].
+    for _ in range(params.get("count", 3)):
+        dep.clients[0].send_request(signature_valid=False)
+
+
+def _install_rbft_worst1(dep, params, handle: PlanHandle) -> None:
+    attack = install_rbft_worst_attack_1(
+        dep, flood_rate=params.get("flood_rate", 500.0)
+    )
+    handle.faulty.update(node.name for node in attack.faulty_nodes)
+    handle.client_send_kwargs.update(attack.client_send_kwargs)
+    handle.flooders.extend(attack.flooders)
+
+
+def _install_rbft_worst2(dep, params, handle: PlanHandle) -> None:
+    attack = install_rbft_worst_attack_2(
+        dep,
+        flood_rate=params.get("flood_rate", 500.0),
+        junk_rate=params.get("junk_rate", 2000.0),
+    )
+    handle.faulty.update(node.name for node in attack.faulty_nodes)
+    handle.client_send_kwargs.update(attack.client_send_kwargs)
+    handle.flooders.extend(attack.flooders)
+
+
+def _install_crash(dep, params, handle: PlanHandle) -> None:
+    """Crash-as-isolation: the node neither sends nor receives for the
+    window, then recovers with its state intact (a warm reboot)."""
+    name = _node_name(params.get("node", 3))
+    handle.interceptor.isolate(
+        name, start=params.get("at", 0.2), until=params.get("until", 1.0)
+    )
+
+
+def _install_partition(dep, params, handle: PlanHandle) -> None:
+    groups = params.get("groups") or [[0, 1], [2, 3]]
+    handle.interceptor.partition(
+        [[_node_name(i) for i in group] for group in groups],
+        start=params.get("at", 0.2), until=params.get("until", 1.0),
+    )
+
+
+def _install_delay(dep, params, handle: PlanHandle) -> None:
+    handle.interceptor.delay(
+        params.get("extra", 2e-3),
+        src=_maybe_node(params.get("src")),
+        dst=_maybe_node(params.get("dst")),
+        p=params.get("p", 1.0),
+        start=params.get("at", 0.0),
+        until=params.get("until", float("inf")),
+    )
+
+
+def _install_drop(dep, params, handle: PlanHandle) -> None:
+    handle.interceptor.drop(
+        src=_maybe_node(params.get("src")),
+        dst=_maybe_node(params.get("dst")),
+        p=params.get("p", 0.05),
+        start=params.get("at", 0.0),
+        until=params.get("until", float("inf")),
+    )
+
+
+def _install_duplicate(dep, params, handle: PlanHandle) -> None:
+    handle.interceptor.duplicate(
+        src=_maybe_node(params.get("src")),
+        dst=_maybe_node(params.get("dst")),
+        p=params.get("p", 0.2),
+        start=params.get("at", 0.0),
+        until=params.get("until", float("inf")),
+    )
+
+
+def _maybe_node(index):
+    return None if index is None else _node_name(index)
+
+
+FAULT_KINDS: Dict[str, Callable] = {
+    "silent-replicas": _install_silent_replicas,
+    "flooding-node": _install_flooding_node,
+    "throttled-master": _install_throttled_master,
+    "mute-propagation": _install_mute_propagation,
+    "junk-clients": _install_junk_clients,
+    "rbft-worst1": _install_rbft_worst1,
+    "rbft-worst2": _install_rbft_worst2,
+    "crash": _install_crash,
+    "partition": _install_partition,
+    "delay": _install_delay,
+    "drop": _install_drop,
+    "duplicate": _install_duplicate,
+}
+
+#: plans containing these kinds stall requests legitimately (a crashed
+#: primary, a cut link), so end-to-end completion is not asserted.
+_NO_COMPLETION_KINDS = frozenset({"crash", "partition", "delay", "drop"})
+
+
+def install_plan(deployment, plan: Tuple[FaultSpec, ...]) -> PlanHandle:
+    """Wire every fault of ``plan`` into ``deployment``."""
+    handle = PlanHandle(interceptor=NetworkInterceptor(deployment))
+    for spec in plan:
+        installer = FAULT_KINDS.get(spec.kind)
+        if installer is None:
+            raise ValueError("unknown fault kind %r" % spec.kind)
+        installer(deployment, spec.params, handle)
+    # Completion is only a claim *within* the fault model: no network
+    # faults, and at most f Byzantine nodes.  Sampled plans may corrupt
+    # more (e.g. both worst attacks at once) — safety must still hold
+    # for the non-equivocating vocabulary, liveness need not.
+    handle.expect_complete = (
+        len(handle.faulty) <= deployment.cluster.f
+        and not any(spec.kind in _NO_COMPLETION_KINDS for spec in plan)
+    )
+    return handle

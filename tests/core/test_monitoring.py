@@ -117,6 +117,75 @@ def test_observes_breach_expires():
     assert not monitor.observes_breach()
 
 
+def test_reset_after_change_clears_breach_state():
+    sim, monitor, triggers = make_monitor(lambda_max=0.1)
+    monitor.check_request_latency("c0", 0.5)
+    assert monitor.observes_breach()
+    monitor.reset_after_change()
+    assert not monitor.observes_breach()
+
+
+def test_reset_after_change_restarts_the_delta_streak():
+    sim, monitor, triggers = make_monitor()
+    monitor.count_ordered(0, 100)
+    monitor.count_ordered(1, 1000)
+    tick_at(sim, monitor, 1.0)  # first breach window
+    monitor.reset_after_change()
+    # The grace period swallows the window at 2.0 and the streak was
+    # cleared, so the breaches at 3.0 and 4.0 are counted fresh: no
+    # accusation until the second of them.
+    for t in (2.0, 3.0):
+        monitor.count_ordered(0, 100)
+        monitor.count_ordered(1, 1000)
+        tick_at(sim, monitor, t)
+    assert triggers == []
+    monitor.count_ordered(0, 100)
+    monitor.count_ordered(1, 1000)
+    tick_at(sim, monitor, 4.0)
+    assert triggers == ["throughput-delta"]
+
+
+def test_omega_silent_on_no_traffic_window():
+    sim, monitor, triggers = make_monitor(omega=0.1, lambda_max=10.0)
+    # No latency was recorded for anyone this window: the Ω comparison
+    # has no master samples and must stay quiet rather than divide by 0.
+    monitor.check_request_latency("c0", 0.05)
+    assert triggers == []
+
+
+def test_omega_ignores_unrelated_clients_spike():
+    sim, monitor, triggers = make_monitor(omega=0.1, lambda_max=10.0)
+    # c0 is starved by the master; c1 is served evenly.
+    monitor.record_latency(0, "c0", 0.5)
+    monitor.record_latency(1, "c0", 0.1)
+    monitor.record_latency(0, "c1", 0.1)
+    monitor.record_latency(1, "c1", 0.1)
+    monitor.check_request_latency("c1", 0.1)
+    assert triggers == []  # the fair client never accuses
+    monitor.check_request_latency("c0", 0.5)
+    assert triggers == ["latency-omega"]  # the starved one does
+
+
+def test_omega_uses_per_client_averages():
+    sim, monitor, triggers = make_monitor(omega=0.1, lambda_max=10.0)
+    # One spike averaged against many fast master samples stays under Ω.
+    for _ in range(9):
+        monitor.record_latency(0, "c0", 0.1)
+    monitor.record_latency(0, "c0", 0.5)  # avg 0.14
+    monitor.record_latency(1, "c0", 0.1)
+    monitor.check_request_latency("c0", 0.5)
+    assert triggers == []
+
+
+def test_omega_tracks_promoted_master():
+    sim, monitor, triggers = make_monitor(omega=0.1, lambda_max=10.0)
+    monitor.master = 1  # best-backup promotion moved the master
+    monitor.record_latency(0, "c0", 0.5)  # instance 0 is now a backup
+    monitor.record_latency(1, "c0", 0.1)
+    monitor.check_request_latency("c0", 0.5)
+    assert triggers == []  # the *new* master is the fast one
+
+
 def test_rate_series_records_every_window():
     sim, monitor, _ = make_monitor()
     for t in range(1, 4):

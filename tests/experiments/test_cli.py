@@ -30,6 +30,21 @@ def test_fig9_runs_end_to_end(capsys, monkeypatch):
     assert "master=" in out
 
 
+def test_explore_and_check_round_trip(capsys, tmp_path):
+    out_dir = str(tmp_path)
+    assert main([
+        "explore", "--episodes", "1", "--seed", "1",
+        "--out", out_dir, "--duration", "0.4", "--check",
+    ]) == 0
+    stdout = capsys.readouterr().out
+    assert "1/1 episodes passed" in stdout
+    assert "wrote 1 artifacts" in stdout
+
+    artifact = str(tmp_path / "episode-0000.json")
+    assert main(["check", "--replay", artifact]) == 0
+    assert "byte-identical replay" in capsys.readouterr().out
+
+
 def test_fig12_runs_end_to_end(capsys):
     assert main(["fig12"]) == 0
     out = capsys.readouterr().out

@@ -1,93 +1,69 @@
-"""Chaos runs: random fault cocktails against RBFT.
+"""Chaos matrix: the five classic fault cocktails, singly and pairwise.
 
-Each scenario mixes delays, floods, silence and client misbehaviour; the
-invariants checked are the ones that must survive *anything* within the
-fault model: executed-set agreement among correct nodes, no duplicate
-execution, and eventual completion of correct clients' requests.
+The old hand-written scenarios now ride the fault-space explorer's
+episode runner: each cell of the matrix is one :class:`EpisodeSpec`, the
+full online invariant suite (ordered-batch agreement, commit
+certificates, execution consistency, monitoring consistency, completion
+within the fault model) replaces the ad-hoc end-state assertions, and
+the cells fan out across worker processes via
+:func:`repro.experiments.execute_tasks` where cores allow.
 """
+
+import itertools
 
 import pytest
 
-from repro.clients import LoadGenerator, static_profile
-from repro.core import RBFTConfig
-from repro.experiments.deployments import build_rbft
-from repro.faults import BatchPacer, Flooder
+from repro.experiments import execute_tasks
+from repro.verify import EpisodeSpec, fault, run_episode
+
+CHAOS_FAULTS = [
+    "silent-replicas",
+    "flooding-node",
+    "throttled-master",
+    "mute-propagation",
+    "junk-clients",
+]
+SEEDS = [11, 12, 13, 14, 15]
 
 
-def build(seed):
-    config = RBFTConfig(
-        f=1,
-        batch_size=8,
-        batch_delay=1e-3,
-        monitoring_period=0.1,
-        min_monitor_requests=10,
-        flood_threshold=32,
+class _Task:
+    """Picklable episode runner for the process fan-out."""
+
+    def __init__(self, spec):
+        self.spec = spec
+
+    def __call__(self):
+        return run_episode(self.spec)
+
+
+def spec_for(kinds, seed):
+    return EpisodeSpec(
+        seed=seed,
+        plan=tuple(fault(kind) for kind in kinds),
+        duration=0.4,
+        drain=0.6,
     )
-    return build_rbft(config, n_clients=6, seed=seed)
 
 
-CHAOS = {
-    "silent-replicas": lambda dep: [
-        setattr(engine, "silent", True) for engine in dep.nodes[3].engines
-    ],
-    "flooding-node": lambda dep: Flooder(
-        dep.cluster.machines[3], ["node0", "node1", "node2"], rate=3000
-    ).start(),
-    "throttled-master": lambda dep: setattr(
-        dep.nodes[0].engines[0],
-        "preprepare_delay_fn",
-        (lambda pacer: lambda msg: pacer.delay_for(len(msg.items)))(
-            BatchPacer(dep.sim, lambda: 400.0)
-        ),
-    ),
-    "mute-propagation": lambda dep: setattr(
-        dep.nodes[3], "propagate_silent", True
-    ),
-    "junk-clients": lambda dep: [
-        dep.clients[0].send_request(signature_valid=False) for _ in range(3)
-    ],
-}
+@pytest.mark.parametrize("kind", CHAOS_FAULTS)
+def test_single_fault_matrix_preserves_invariants(kind):
+    specs = [spec_for([kind], seed) for seed in SEEDS]
+    results = execute_tasks([_Task(spec) for spec in specs])
+    for spec, result in zip(specs, results):
+        assert result.ok, (kind, spec.seed, result.violations)
+        assert result.completed > 0
 
 
-@pytest.mark.parametrize("fault", sorted(CHAOS))
-def test_single_fault_preserves_agreement(fault):
-    dep = build(seed=11)
-    CHAOS[fault](dep)
-    generator = LoadGenerator(
-        dep.sim,
-        dep.clients[1:],  # client0 may be the misbehaving one
-        static_profile(1500.0, 1.0),
-        dep.rng.stream("load"),
-    )
-    generator.start()
-    dep.sim.run(until=2.0)
-    correct = dep.nodes[:3]
-    # Executed sets agree among correct nodes.
-    sets = [node.executed_ids for node in correct]
-    assert sets[0] == sets[1] == sets[2], fault
-    # No duplicate execution anywhere.
-    for node in correct:
-        assert node.executed_count == len(node.executed_ids), fault
-    # Correct clients' requests completed.
-    assert generator.total_completed() >= 0.98 * generator.total_sent(), fault
+def test_pairwise_fault_matrix_preserves_safety():
+    pairs = list(itertools.combinations(CHAOS_FAULTS, 2))
+    specs = [spec_for(pair, seed=21) for pair in pairs]
+    results = execute_tasks([_Task(spec) for spec in specs])
+    for spec, result in zip(specs, results):
+        kinds = tuple(s.kind for s in spec.plan)
+        assert result.ok, (kinds, result.violations)
 
 
-def test_combined_fault_cocktail():
-    dep = build(seed=12)
-    CHAOS["flooding-node"](dep)
-    CHAOS["throttled-master"](dep)
-    CHAOS["junk-clients"](dep)
-    generator = LoadGenerator(
-        dep.sim,
-        dep.clients[1:],
-        static_profile(1200.0, 1.2),
-        dep.rng.stream("load"),
-    )
-    generator.start()
-    dep.sim.run(until=2.5)
-    correct = dep.nodes[:3]
-    sets = [node.executed_ids for node in correct]
-    assert sets[0] == sets[1] == sets[2]
-    assert generator.total_completed() >= 0.95 * generator.total_sent()
-    # The throttled master primary was evicted along the way.
-    assert all(node.instance_changes >= 1 for node in correct)
+def test_throttled_master_is_evicted():
+    result = run_episode(spec_for(["throttled-master"], seed=11))
+    assert result.ok, result.violations
+    assert all(n >= 1 for n in result.instance_changes.values())

@@ -72,6 +72,75 @@ def test_udp_loss_drops_messages():
     assert channel.dropped == 1
 
 
+def test_udp_duplicate_delivers_twice():
+    sim = Simulator()
+    profile = LinkProfile(jitter=0.0, udp_duplicate=1.0)
+    _, channel, inbox = make_pair(sim, profile, tcp=False)
+    channel.send(Blob("a"))
+    sim.run()
+    assert len(inbox) == 2
+    assert channel.duplicated == 1
+    assert channel.delivered == 2
+
+
+def test_udp_duplicate_copies_pay_their_own_reception():
+    sim = Simulator()
+    profile = LinkProfile(latency=0.0, jitter=0.0, udp_duplicate=1.0)
+    _, channel, inbox = make_pair(sim, profile, tcp=False, bandwidth=1000.0)
+    channel.send(Blob("a", body_size=952))  # 1000 B: 1 s tx, 1 s rx each
+    sim.run()
+    times = [t for t, _ in inbox]
+    assert times == pytest.approx([2.0, 3.0])
+
+
+def test_tcp_ignores_duplicate_profile():
+    sim = Simulator()
+    profile = LinkProfile(jitter=0.0, udp_duplicate=1.0)
+    _, channel, inbox = make_pair(sim, profile, tcp=True)
+    channel.send(Blob("a"))
+    sim.run()
+    assert len(inbox) == 1
+    assert channel.duplicated == 0
+
+
+def test_duplicate_knob_does_not_perturb_existing_draws():
+    # udp_duplicate=0 must leave the RNG stream untouched so seeded
+    # runs predating the knob replay byte-identically.
+    def arrival_times(duplicate):
+        sim = Simulator()
+        profile = LinkProfile(jitter=1e-3, udp_loss=0.3, udp_duplicate=duplicate)
+        _, channel, inbox = make_pair(sim, profile, tcp=False)
+        for _ in range(50):
+            channel.send(Blob("a"))
+        sim.run()
+        return [t for t, _ in inbox]
+
+    assert arrival_times(0.0) == arrival_times(0)
+
+
+def test_intercept_hook_owns_the_send_path():
+    sim = Simulator()
+    _, channel, inbox = make_pair(sim)
+    seen = []
+    channel.intercept = lambda chan, msg: seen.append(msg)
+    channel.send(Blob("a"))
+    sim.run()
+    assert inbox == [] and len(seen) == 1  # hook swallowed it
+    channel.intercept = None
+    channel.send(Blob("a"))
+    sim.run()
+    assert len(inbox) == 1
+
+
+def test_send_direct_bypasses_intercept():
+    sim = Simulator()
+    _, channel, inbox = make_pair(sim)
+    channel.intercept = lambda chan, msg: None  # drop everything
+    channel.send_direct(Blob("a"))
+    sim.run()
+    assert len(inbox) == 1
+
+
 def test_tcp_never_drops_despite_loss_profile():
     sim = Simulator()
     profile = LinkProfile(jitter=0.0, udp_loss=1.0)

@@ -68,6 +68,59 @@ def test_bandwidth_lower_bounds_delivery_time(sizes):
     assert done[-1] >= total_bytes / bandwidth
 
 
+@given(dup=st.floats(min_value=0.0, max_value=1.0), seed=st.integers(0, 99))
+@settings(max_examples=30)
+def test_udp_duplicate_rate_is_plausible(dup, seed):
+    sim = Simulator()
+    network = Network(sim, random.Random(seed))
+    received = []
+    channel = network.connect(
+        "a",
+        "b",
+        NIC(sim, "a", 1e9),
+        NIC(sim, "b", 1e9),
+        lambda m: received.append(m),
+        profile=LinkProfile(jitter=0.0, udp_duplicate=dup),
+        tcp=False,
+    )
+    n = 200
+    for _ in range(n):
+        channel.send(Blob("a", 10, 0))
+    sim.run()
+    assert len(received) == n + channel.duplicated
+    if dup == 0.0:
+        assert channel.duplicated == 0
+    if dup == 1.0:
+        assert channel.duplicated == n
+
+
+@given(
+    loss=st.floats(min_value=0.0, max_value=0.5),
+    dup=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(0, 99),
+)
+@settings(max_examples=30)
+def test_udp_loss_and_duplicate_conserve_messages(loss, dup, seed):
+    """Every datagram is dropped, delivered once, or delivered twice."""
+    sim = Simulator()
+    network = Network(sim, random.Random(seed))
+    received = []
+    channel = network.connect(
+        "a",
+        "b",
+        NIC(sim, "a", 1e9),
+        NIC(sim, "b", 1e9),
+        lambda m: received.append(m),
+        profile=LinkProfile(jitter=0.0, udp_loss=loss, udp_duplicate=dup),
+        tcp=False,
+    )
+    n = 200
+    for _ in range(n):
+        channel.send(Blob("a", 10, 0))
+    sim.run()
+    assert len(received) == n - channel.dropped + channel.duplicated
+
+
 @given(loss=st.floats(min_value=0.0, max_value=1.0), seed=st.integers(0, 99))
 @settings(max_examples=30)
 def test_udp_loss_rate_is_plausible(loss, seed):

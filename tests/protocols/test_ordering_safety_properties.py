@@ -68,6 +68,63 @@ def test_agreement_under_random_schedules(schedule):
 
 
 @given(
+    n_requests=st.integers(4, 40),
+    vc_at=st.floats(min_value=5e-4, max_value=3e-2),
+    silent=st.sampled_from([None, 1, 2, 3]),
+)
+@settings(max_examples=25, deadline=None)
+def test_prepared_certificates_survive_view_changes(n_requests, vc_at, silent):
+    """A batch prepared at f+1 *correct* replicas is never committed with
+    a different digest after a view change.
+
+    Any view-change quorum of 2f+1 replicas intersects those f+1 correct
+    holders, so the new primary must carry the certificate over — the
+    batch can only ever be re-proposed at the same sequence number with
+    the same content.  The view-change instant is randomized so the
+    snapshot catches batches at every stage of the three-phase pipeline.
+    """
+    sim, fabric, engines, ordered = make_group()
+    if silent is not None:
+        engines[silent].silent = True
+    correct = [e for i, e in enumerate(engines) if i != silent]
+
+    for i in range(n_requests):
+        sim.call_after(i * 3e-4, submit_all, engines, [request(i)])
+
+    prepared_at_quorum = {}
+
+    def snapshot_and_view_change():
+        counts = {}
+        for engine in correct:
+            for seq, entry in engine.log.items():
+                if entry.prepared:
+                    key = (seq, tuple(it.request_id for it in entry.items))
+                    counts[key] = counts.get(key, 0) + 1
+        for (seq, rids), holders in counts.items():
+            if holders >= 2:  # f+1 correct replicas hold the certificate
+                prepared_at_quorum[seq] = rids
+        for engine in correct:
+            engine.start_view_change()
+
+    sim.call_after(vc_at, snapshot_and_view_change)
+    sim.run(until=1.0)
+
+    for node, node_ordered in ordered.items():
+        if silent is not None and node == silent:
+            continue
+        delivered = dict(node_ordered)
+        for seq, rids in prepared_at_quorum.items():
+            assert seq in delivered, (
+                "node%d never delivered prepared seq %d" % (node, seq)
+            )
+            assert delivered[seq] == rids, (
+                "node%d delivered %r at seq %d, but %r was prepared at "
+                "f+1 correct replicas before the view change"
+                % (node, delivered[seq], seq, rids)
+            )
+
+
+@given(
     n_requests=st.integers(1, 40),
     vc_at=st.floats(min_value=1e-4, max_value=2e-2),
 )
