@@ -6,22 +6,59 @@ The package is organised bottom-up:
 * :mod:`repro.net` — NICs, TCP/UDP channels, multicast, flooding;
 * :mod:`repro.crypto` — cost model and structural authentication tags;
 * :mod:`repro.common` — requests, quorums, batching, services, clusters;
-* :mod:`repro.protocols` — the PBFT ordering engine and the three robust
-  baselines (Prime, Aardvark, Spinning);
+* :mod:`repro.protocols` — the PBFT ordering engine, the three robust
+  baselines (Prime, Aardvark, Spinning), and the protocol registry;
 * :mod:`repro.core` — RBFT itself;
 * :mod:`repro.clients`, :mod:`repro.faults`, :mod:`repro.metrics`,
-  :mod:`repro.experiments` — workloads, adversaries, instruments, and
-  one experiment runner per table/figure of the paper.
+  :mod:`repro.experiments`, :mod:`repro.verify` — workloads,
+  adversaries, instruments, one experiment runner per table/figure of
+  the paper, and the fault-space explorer.
 
 Quickstart::
 
-    from repro.core import RBFTConfig
-    from repro.experiments import build_rbft
+    from repro import Scenario, run
 
-    deployment = build_rbft(RBFTConfig(f=1), n_clients=3)
-    deployment.clients[0].send_request()
-    deployment.sim.run(until=0.5)
+    result = run(Scenario(protocol="rbft", attack="rbft-worst1"))
+    print(result.executed_rate)
+
+The names in ``__all__`` are the package's **stable public surface**
+(see ``docs/api.md`` for the stability policy); they are re-exported
+lazily so ``import repro`` stays cheap.
 """
 
 __version__ = "1.0.0"
-__all__ = ["__version__"]
+
+#: stable top-level surface, snapshot-tested by tests/test_public_api.py.
+__all__ = [
+    "__version__",
+    "Scenario",
+    "run",
+    "RunResult",
+    "Simulator",
+]
+
+_LAZY = {
+    "Scenario": ("repro.experiments.scenario", "Scenario"),
+    "run": ("repro.experiments.scenario", "run"),
+    "RunResult": ("repro.experiments.runner", "RunResult"),
+    "Simulator": ("repro.sim.engine", "Simulator"),
+}
+
+
+def __getattr__(name):
+    """PEP 562 lazy re-exports: resolve on first attribute access."""
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            "module %r has no attribute %r" % (__name__, name)
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value  # cache: subsequent accesses skip __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

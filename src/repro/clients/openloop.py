@@ -70,10 +70,15 @@ class OpenLoopClient:
             client=self.name,
             rid=rid,
             payload_size=payload_size if payload_size is not None else self.payload_size,
-            signature=Signature(self.name, valid=signature_valid),
-            authenticator=MacAuthenticator(
-                self.name,
-                invalid_for=frozenset(mac_invalid_for) if mac_invalid_for else None,
+            signature=(
+                Signature.for_signer(self.name)
+                if signature_valid
+                else Signature(self.name, valid=False)
+            ),
+            authenticator=(
+                MacAuthenticator(self.name, invalid_for=frozenset(mac_invalid_for))
+                if mac_invalid_for
+                else MacAuthenticator.for_signer(self.name)
             ),
             exec_cost=exec_cost,
             sent_at=self.sim.now,

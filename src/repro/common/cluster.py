@@ -69,10 +69,15 @@ class Machine:
                 sim, self.name + "/nic-shared", config.nic_bandwidth
             )
             self.client_nic = self._shared_nic
-        self.handler: Optional[Callable[[Message], None]] = None
+        self._handler: Optional[Callable[[Message], None]] = None
+        self._inbound: List[Channel] = []
         self.dropped_unrouted = 0
         self.channels_to_nodes: Dict[str, Channel] = {}
         self.channels_to_clients: Dict[str, Channel] = {}
+        # The node topology is fixed once the cluster is wired, so the
+        # broadcast fan-out list is materialised once on first use.
+        self._broadcast_channels: Optional[List[Channel]] = None
+        self._udp_multicast = self._shared_nic is not None and not config.tcp
 
     def nic_for_peer(self, peer: str) -> NIC:
         if self._shared_nic is not None:
@@ -88,11 +93,31 @@ class Machine:
         return nic
 
     # ------------------------------------------------------------- messaging
+    @property
+    def handler(self) -> Optional[Callable[[Message], None]]:
+        return self._handler
+
+    @handler.setter
+    def handler(self, fn: Optional[Callable[[Message], None]]) -> None:
+        # Inbound channels deliver straight into the handler, skipping
+        # the ``deliver`` indirection on every message; channels fall
+        # back to ``deliver`` (which counts unrouted drops) while no
+        # handler is attached.
+        self._handler = fn
+        target = self.deliver if fn is None else fn
+        for channel in self._inbound:
+            channel.handler = target
+
+    def _register_inbound(self, channel: Channel) -> None:
+        self._inbound.append(channel)
+        if self._handler is not None:
+            channel.handler = self._handler
+
     def deliver(self, msg: Message) -> None:
-        if self.handler is None:
+        if self._handler is None:
             self.dropped_unrouted += 1
         else:
-            self.handler(msg)
+            self._handler(msg)
 
     def send_to_node(self, dst: str, msg: Message) -> None:
         self.channels_to_nodes[dst].send(msg)
@@ -102,14 +127,18 @@ class Machine:
 
         With a shared NIC under UDP this is a true multicast (one
         transmission); with separate per-peer NICs the copies go out in
-        parallel on independent links.
+        parallel on independent links (one batched fan-out: the wire
+        size is computed once for all of them).
         """
-        channels = self.channels_to_nodes.values()
-        if self._shared_nic is not None and not self.cluster.config.tcp:
-            Network.multicast(list(channels), msg)
+        channels = self._broadcast_channels
+        if channels is None:
+            channels = self._broadcast_channels = list(
+                self.channels_to_nodes.values()
+            )
+        if self._udp_multicast:
+            Network.multicast(channels, msg)
         else:
-            for channel in channels:
-                channel.send(msg)
+            Network.broadcast(channels, msg)
 
     def send_to_client(self, client: str, msg: Message) -> None:
         self.channels_to_clients[client].send(msg)
@@ -125,27 +154,48 @@ class ClientPort:
         self.cluster = cluster
         self.name = name
         self.nic = NIC(cluster.sim, name + "/nic", cluster.config.nic_bandwidth)
-        self.handler: Optional[Callable[[Message], None]] = None
+        self._handler: Optional[Callable[[Message], None]] = None
+        self._inbound: List[Channel] = []
         self.channels_to_nodes: Dict[str, Channel] = {}
         self.dropped_unrouted = 0
+        self._broadcast_channels: Optional[List[Channel]] = None
+
+    @property
+    def handler(self) -> Optional[Callable[[Message], None]]:
+        return self._handler
+
+    @handler.setter
+    def handler(self, fn: Optional[Callable[[Message], None]]) -> None:
+        self._handler = fn
+        target = self.deliver if fn is None else fn
+        for channel in self._inbound:
+            channel.handler = target
+
+    def _register_inbound(self, channel: Channel) -> None:
+        self._inbound.append(channel)
+        if self._handler is not None:
+            channel.handler = self._handler
 
     def deliver(self, msg: Message) -> None:
-        if self.handler is None:
+        if self._handler is None:
             self.dropped_unrouted += 1
         else:
-            self.handler(msg)
+            self._handler(msg)
 
     def send_to_node(self, dst: str, msg: Message) -> None:
         self.channels_to_nodes[dst].send(msg)
 
     def broadcast(self, msg: Message) -> None:
         """Send to every node (single multicast transmission under UDP)."""
-        channels = list(self.channels_to_nodes.values())
+        channels = self._broadcast_channels
+        if channels is None:
+            channels = self._broadcast_channels = list(
+                self.channels_to_nodes.values()
+            )
         if not self.cluster.config.tcp:
             Network.multicast(channels, msg)
         else:
-            for channel in channels:
-                channel.send(msg)
+            Network.broadcast(channels, msg)
 
 
 class Cluster:
@@ -172,6 +222,7 @@ class Cluster:
                     tcp=config.tcp,
                 )
                 src.channels_to_nodes[dst.name] = channel
+                dst._register_inbound(channel)
 
     # --------------------------------------------------------------- helpers
     @property
@@ -203,6 +254,7 @@ class Cluster:
                 tcp=self.config.tcp,
             )
             port.channels_to_nodes[machine.name] = up
+            machine._register_inbound(up)
             down = self.network.connect(
                 machine.name,
                 name,
@@ -213,5 +265,6 @@ class Cluster:
                 tcp=self.config.tcp,
             )
             machine.channels_to_clients[name] = down
+            port._register_inbound(down)
         self.clients[name] = port
         return port

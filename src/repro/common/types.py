@@ -47,19 +47,34 @@ class Request:
         return (self.client, self.rid)
 
     def digest(self) -> Digest:
-        return Digest(("req", self.client, self.rid))
+        # Memoised like ``request_id``: the same Request object travels
+        # the whole simulated network, so every node and every protocol
+        # instance shares one digest (and identifier) construction.
+        digest = self.__dict__.get("_digest")
+        if digest is None:
+            digest = Digest(("req", self.client, self.rid))
+            self.__dict__["_digest"] = digest
+        return digest
 
     def identifier(self) -> "RequestIdentifier":
-        return RequestIdentifier(self.client, self.rid, self.digest())
+        identifier = self.__dict__.get("_identifier")
+        if identifier is None:
+            identifier = RequestIdentifier(self.client, self.rid, self.digest())
+            self.__dict__["_identifier"] = identifier
+        return identifier
 
     def wire_size(self) -> int:
         """Bytes on the wire: header + payload + signature + MAC array."""
-        return (
-            MESSAGE_HEADER_SIZE
-            + self.payload_size
-            + SIGNATURE_SIZE
-            + 4 * MAC_SIZE  # authenticator sized for the f=1 common case
-        )
+        size = self.__dict__.get("_wire_size")
+        if size is None:
+            size = (
+                MESSAGE_HEADER_SIZE
+                + self.payload_size
+                + SIGNATURE_SIZE
+                + 4 * MAC_SIZE  # authenticator sized for the f=1 common case
+            )
+            self.__dict__["_wire_size"] = size
+        return size
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,7 @@ configurable period.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.common.cluster import Machine
 from repro.common.quorum import QuorumTracker, quorum_size, weak_quorum_size
@@ -144,6 +144,21 @@ class RBFTNode:
         self._propagate_rx_cost = (
             self.costs.mac_verify(32) + self.config.rx_overhead
         )
+        # Remaining hot-path state: the cost model is pure, so per-size
+        # results memoise; the valid-for-everyone authenticator is
+        # immutable, so one interned instance signs every outbound
+        # message; routing is pre-bound per message class.
+        self._auth = MacAuthenticator.for_signer(self.name)
+        self._auth_rx_costs: Dict[int, float] = {}
+        self._sig_verify_costs: Dict[int, float] = {}
+        self._propagate_tx_costs: Dict[int, float] = {}
+        self._exec_reply_cost = self.costs.mac_gen(MESSAGE_HEADER_SIZE)
+        self._routes: Dict[type, Callable[[Message], None]] = {
+            ClientRequestMsg: self._route_request,
+            PropagateMsg: self._route_propagate,
+            InstanceChangeMsg: self._route_instance_change,
+            FloodMsg: self._route_flood,
+        }
 
         machine.handler = self.on_network_message
         sim.call_after(config.monitoring_period, self._monitor_tick)
@@ -165,32 +180,67 @@ class RBFTNode:
 
     # ----------------------------------------------------------------- routing
     def on_network_message(self, msg: Message) -> None:
-        if isinstance(msg, ClientRequestMsg):
-            self._receive_request(msg.request)
-        elif isinstance(msg, PropagateMsg):
-            # The MAC covers the request digest, so the Propagation module
-            # only checks the small header here.  For a first-sight request
-            # the full payload is hashed exactly once — on the Verification
-            # core, inside the signature check (the same hash serves both).
-            self.propagation_core.submit(
-                self._propagate_rx_cost, self._on_propagate, msg
-            )
-        elif isinstance(msg, OrderingMessage):
-            if 0 <= msg.instance < len(self.engines):
-                self.engines[msg.instance].receive(msg)
-        elif isinstance(msg, InstanceChangeMsg):
+        routes = self._routes
+        handler = routes.get(msg.__class__)
+        if handler is None:
+            # First sight of this exact class: resolve it (isinstance
+            # handles subclasses and the many OrderingMessage leaves) and
+            # cache the binding for every later message of the class.
+            if isinstance(msg, OrderingMessage):
+                handler = self._route_ordering
+            elif isinstance(msg, ClientRequestMsg):
+                handler = self._route_request
+            elif isinstance(msg, PropagateMsg):
+                handler = self._route_propagate
+            elif isinstance(msg, InstanceChangeMsg):
+                handler = self._route_instance_change
+            elif isinstance(msg, FloodMsg):
+                handler = self._route_flood
+            else:
+                handler = self._route_ignore
+            routes[msg.__class__] = handler
+        handler(msg)
+
+    def _route_request(self, msg: Message) -> None:
+        self._receive_request(msg.request)
+
+    def _route_propagate(self, msg: Message) -> None:
+        # The MAC covers the request digest, so the Propagation module
+        # only checks the small header here.  For a first-sight request
+        # the full payload is hashed exactly once — on the Verification
+        # core, inside the signature check (the same hash serves both).
+        self.propagation_core.submit(self._propagate_rx_cost, self._on_propagate, msg)
+
+    def _route_ordering(self, msg: Message) -> None:
+        if 0 <= msg.instance < len(self.engines):
+            self.engines[msg.instance].receive(msg)
+
+    def _route_instance_change(self, msg: Message) -> None:
+        cost = self._auth_rx_cost(msg.wire_size())
+        self.dispatch_core.submit(cost, self._on_instance_change, msg)
+
+    def _route_flood(self, msg: Message) -> None:
+        # Junk traffic: pay the MAC check, then count the sender.
+        cost = self._auth_rx_cost(msg.wire_size())
+        self.propagation_core.submit(cost, self._note_invalid, msg.sender)
+
+    def _route_ignore(self, msg: Message) -> None:
+        pass
+
+    def _auth_rx_cost(self, nbytes: int) -> float:
+        cost = self._auth_rx_costs.get(nbytes)
+        if cost is None:
             cost = (
-                self.costs.authenticator_verify(msg.wire_size())
-                + self.config.rx_overhead
+                self.costs.authenticator_verify(nbytes) + self.config.rx_overhead
             )
-            self.dispatch_core.submit(cost, self._on_instance_change, msg)
-        elif isinstance(msg, FloodMsg):
-            # Junk traffic: pay the MAC check, then count the sender.
-            cost = (
-                self.costs.authenticator_verify(msg.wire_size())
-                + self.config.rx_overhead
-            )
-            self.propagation_core.submit(cost, self._note_invalid, msg.sender)
+            self._auth_rx_costs[nbytes] = cost
+        return cost
+
+    def _sig_verify_cost(self, nbytes: int) -> float:
+        cost = self._sig_verify_costs.get(nbytes)
+        if cost is None:
+            cost = self._sig_verify_costs[nbytes] = self.costs.sig_verify(nbytes)
+        return cost
 
     # -------------------------------------------------- Verification module
     def _receive_request(self, request: Request) -> None:
@@ -202,10 +252,7 @@ class RBFTNode:
                 self.sim.now, "node.stage", self.name,
                 stage="verification.mac", client=request.client,
             )
-        cost = (
-            self.costs.authenticator_verify(request.wire_size())
-            + self.config.rx_overhead
-        )
+        cost = self._auth_rx_cost(request.wire_size())
         self.verification_core.submit(cost, self._after_request_mac, request)
 
     def _after_request_mac(self, request: Request) -> None:
@@ -226,7 +273,7 @@ class RBFTNode:
                 self.sim.now, "node.stage", self.name,
                 stage="verification.sig", client=request.client,
             )
-        cost = self.costs.sig_verify(request.wire_size())
+        cost = self._sig_verify_cost(request.wire_size())
         self.verification_core.submit(cost, self._after_request_signature, request)
 
     def _after_request_signature(self, request: Request) -> None:
@@ -254,8 +301,12 @@ class RBFTNode:
             self._register_propagate(request_id, self.name)
         else:
             # TCP point-to-point PROPAGATEs: one MAC pass per recipient.
-            msg = PropagateMsg(self.name, request, MacAuthenticator(self.name))
-            cost = (self.config.n - 1) * self.costs.mac_gen(msg.wire_size())
+            msg = PropagateMsg(self.name, request, self._auth)
+            size = msg.wire_size()
+            cost = self._propagate_tx_costs.get(size)
+            if cost is None:
+                cost = (self.config.n - 1) * self.costs.mac_gen(size)
+                self._propagate_tx_costs[size] = cost
             self.propagation_core.submit(cost, self._emit_propagate, msg)
         # The quorum may already be complete if f+1 PROPAGATEs beat the
         # signature check; the body is stored now, so dispatch can proceed.
@@ -281,7 +332,7 @@ class RBFTNode:
         if request_id in self._sig_inflight:
             return
         self._sig_inflight.add(request_id)
-        cost = self.costs.sig_verify(request.wire_size())
+        cost = self._sig_verify_cost(request.wire_size())
         self.verification_core.submit(cost, self._after_propagate_signature, msg)
 
     def _after_propagate_signature(self, msg: PropagateMsg) -> None:
@@ -369,9 +420,7 @@ class RBFTNode:
             if request is None:
                 continue  # unreachable: f+1 PROPAGATEs imply we hold it
             self.executed_ids.add(request_id)
-            cost = self.service.exec_cost(request) + self.costs.mac_gen(
-                MESSAGE_HEADER_SIZE
-            )
+            cost = self.service.exec_cost(request) + self._exec_reply_cost
             self.execution_core.submit(cost, self._execute_one, request)
 
     def _execute_one(self, request: Request) -> None:
@@ -439,7 +488,7 @@ class RBFTNode:
                 reason=reason, cpi=self.cpi, choice=choice,
             )
         msg = InstanceChangeMsg(
-            self.name, self.cpi, MacAuthenticator(self.name), preferred_master=choice
+            self.name, self.cpi, self._auth, preferred_master=choice
         )
         cost = self.costs.authenticator_gen(msg.wire_size(), self.config.n - 1)
         self.dispatch_core.submit(cost, self.machine.broadcast_to_nodes, msg)

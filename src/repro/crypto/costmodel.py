@@ -56,6 +56,12 @@ class CryptoCostModel:
     digest_base: float = 0.3 * _US
     hash_per_byte: float = 10e-9
 
+    # Every method is a pure function of (model, sizes), so hot call
+    # sites memoise results per size (see OrderingInstance and RBFTNode)
+    # instead of re-deriving them per message.  The methods themselves
+    # stay plain arithmetic: a shared cache here would hash the whole
+    # model per lookup, which costs more than the computation.
+
     # ------------------------------------------------------------------ MACs
     def mac_gen(self, nbytes: int) -> float:
         """Generate one MAC over ``nbytes`` of payload."""

@@ -15,7 +15,7 @@ valid.  Verification in protocol code is then two separate things —
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Hashable, Optional
+from typing import Dict, FrozenSet, Hashable, Optional
 
 __all__ = ["Digest", "Mac", "MacAuthenticator", "Signature"]
 
@@ -66,8 +66,25 @@ class MacAuthenticator:
         """An authenticator that verifies for nobody (flooding payloads)."""
         return MacAuthenticator(signer=signer, invalid_for=frozenset({"*"}))
 
+    @staticmethod
+    def for_signer(signer: str) -> "MacAuthenticator":
+        """The interned valid-for-everyone authenticator of ``signer``.
+
+        Authenticators are immutable and compare structurally, so the
+        common case — one valid tag per outgoing message — can share a
+        single instance per sender instead of allocating per message.
+        """
+        auth = _VALID_AUTHENTICATORS.get(signer)
+        if auth is None:
+            auth = _VALID_AUTHENTICATORS[signer] = MacAuthenticator(signer)
+        return auth
+
     def valid_for_any(self) -> bool:
         return self.invalid_for is None or "*" not in self.invalid_for
+
+
+#: interned valid-for-everyone authenticators, keyed by signer name.
+_VALID_AUTHENTICATORS: Dict[str, MacAuthenticator] = {}
 
 
 @dataclass(frozen=True)
@@ -81,3 +98,16 @@ class Signature:
 
     signer: str
     valid: bool = True
+
+    @staticmethod
+    def for_signer(signer: str) -> "Signature":
+        """The interned valid signature of ``signer`` (cf.
+        :meth:`MacAuthenticator.for_signer`)."""
+        sig = _VALID_SIGNATURES.get(signer)
+        if sig is None:
+            sig = _VALID_SIGNATURES[signer] = Signature(signer)
+        return sig
+
+
+#: interned valid signatures, keyed by signer name.
+_VALID_SIGNATURES: Dict[str, Signature] = {}

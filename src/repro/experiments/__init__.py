@@ -25,11 +25,15 @@ from .runner import (
 from .kernelbench import check_regression, run_kernel_bench, write_kernel_bench
 from .parallel import RunSpec, execute_specs, execute_tasks, resolve_jobs
 from .profiling import profile_report, profile_run
+from .protocolbench import run_protocol_bench, write_protocol_bench
 from .scale import FULL, QUICK, SMOKE, ScenarioScale, current_scale
+from .scenario import Scenario, run
 from .smoke import check_bounds, run_smoke, write_smoke
 from .stats import SweepResult, seed_sweep
 
 __all__ = [
+    "Scenario",
+    "run",
     "Deployment",
     "build_aardvark",
     "build_pbft",
@@ -61,6 +65,8 @@ __all__ = [
     "run_kernel_bench",
     "check_regression",
     "write_kernel_bench",
+    "run_protocol_bench",
+    "write_protocol_bench",
     "RunSpec",
     "execute_specs",
     "execute_tasks",

@@ -15,6 +15,7 @@ Beyond the paper's figures, three instrumentation commands::
     python -m repro.experiments profile fig7 --trace-out fig7.trace.jsonl
     python -m repro.experiments smoke              # CI gate: BENCH_smoke.json
     python -m repro.experiments bench kernel       # kernel dispatch benchmark
+    python -m repro.experiments bench protocol     # protocol hot-path benchmark
 
 Sweeps fan out across worker processes: ``--jobs N`` (or the
 ``REPRO_JOBS`` environment variable) sets the worker count, default
@@ -182,11 +183,26 @@ def _cmd_smoke(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from .kernelbench import write_kernel_bench
+    if args.what == "protocol":
+        from .protocolbench import (
+            DEFAULT_BASELINE_PATH as protocol_baseline,
+            write_protocol_bench,
+        )
+
+        return write_protocol_bench(
+            output=args.output or "BENCH_protocol.json",
+            baseline_path=args.baseline or protocol_baseline,
+            repeat=args.repeat,
+            check=args.check,
+        )
+    from .kernelbench import (
+        DEFAULT_BASELINE_PATH as kernel_baseline,
+        write_kernel_bench,
+    )
 
     return write_kernel_bench(
-        output=args.output,
-        baseline_path=args.baseline,
+        output=args.output or "BENCH_kernel.json",
+        baseline_path=args.baseline or kernel_baseline,
         repeat=args.repeat,
         check=args.check,
     )
@@ -303,18 +319,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="worker processes (default: REPRO_JOBS or "
                        "cpu_count()-1; 1 = serial)")
 
-    from .kernelbench import DEFAULT_BASELINE_PATH
-
     bench = sub.add_parser(
         "bench",
-        help="microbenchmarks; `bench kernel` writes BENCH_kernel.json",
+        help="microbenchmarks; `bench kernel` writes BENCH_kernel.json, "
+        "`bench protocol` writes BENCH_protocol.json",
     )
-    bench.add_argument("what", choices=["kernel"],
+    bench.add_argument("what", choices=["kernel", "protocol"],
                        help="which benchmark to run")
-    bench.add_argument("--output", default="BENCH_kernel.json",
-                       help="where to write the benchmark artifact")
-    bench.add_argument("--baseline", default=DEFAULT_BASELINE_PATH,
-                       help="reference baseline JSON for the speedup")
+    bench.add_argument("--output", default=None,
+                       help="where to write the benchmark artifact "
+                       "(default: BENCH_<what>.json)")
+    bench.add_argument("--baseline", default=None,
+                       help="reference baseline JSON for the speedup "
+                       "(default: benchmarks/<what>_baseline.json)")
     bench.add_argument("--repeat", type=int, default=3,
                        help="repetitions per workload (best wall kept)")
     bench.add_argument("--check", action="store_true",

@@ -82,6 +82,13 @@ def build_rbft(
     return Deployment(sim, cluster, nodes, clients, RngTree(seed))
 
 
+def _cluster_config(f: int, seed: int, link: Optional[LinkProfile], **kwargs):
+    config = ClusterConfig(f=f, seed=seed, **kwargs)
+    if link is not None:
+        config = config.with_(link=link)
+    return config
+
+
 def build_aardvark(
     config: Optional[AardvarkConfig] = None,
     f: int = 1,
@@ -89,10 +96,11 @@ def build_aardvark(
     payload: int = 8,
     service_factory: Callable[[], Service] = NullService,
     seed: int = 0,
+    link: Optional[LinkProfile] = None,
 ) -> Deployment:
     config = config or AardvarkConfig()
     sim = Simulator()
-    cluster = Cluster(sim, ClusterConfig(f=config.instance.f, seed=seed))
+    cluster = Cluster(sim, _cluster_config(config.instance.f, seed, link))
     nodes = [
         AardvarkNode(machine, config, service_factory())
         for machine in cluster.machines
@@ -107,14 +115,15 @@ def build_spinning(
     payload: int = 8,
     service_factory: Callable[[], Service] = NullService,
     seed: int = 0,
+    link: Optional[LinkProfile] = None,
 ) -> Deployment:
     """Spinning runs over UDP multicast on a shared NIC (§VI-B)."""
     config = config or SpinningConfig()
     sim = Simulator()
     cluster = Cluster(
         sim,
-        ClusterConfig(
-            f=config.instance.f, seed=seed, tcp=False, separate_nics=False
+        _cluster_config(
+            config.instance.f, seed, link, tcp=False, separate_nics=False
         ),
     )
     nodes = [
@@ -131,10 +140,11 @@ def build_prime(
     payload: int = 8,
     service_factory: Callable[[], Service] = NullService,
     seed: int = 0,
+    link: Optional[LinkProfile] = None,
 ) -> Deployment:
     config = config or PrimeConfig()
     sim = Simulator()
-    cluster = Cluster(sim, ClusterConfig(f=config.f, seed=seed))
+    cluster = Cluster(sim, _cluster_config(config.f, seed, link))
     nodes = [
         PrimeNode(machine, config, service_factory()) for machine in cluster.machines
     ]
@@ -148,11 +158,12 @@ def build_pbft(
     payload: int = 8,
     service_factory: Callable[[], Service] = NullService,
     seed: int = 0,
+    link: Optional[LinkProfile] = None,
 ) -> Deployment:
     """Plain PBFT — used by ablations, not by the paper's figures."""
     config = config or NodeConfig()
     sim = Simulator()
-    cluster = Cluster(sim, ClusterConfig(f=config.f, seed=seed))
+    cluster = Cluster(sim, _cluster_config(config.f, seed, link))
     nodes = [
         BftNode(machine, config, service_factory()) for machine in cluster.machines
     ]

@@ -40,12 +40,11 @@ import random
 import time
 from typing import Optional, Tuple
 
-from repro.clients import static_profile
 from repro.sim import Simulator
 from repro.sim.resources import Core
 
-from .runner import _execute_run, make_deployment
 from .scale import SMOKE
+from .scenario import Scenario, run as run_scenario
 
 __all__ = [
     "DEFAULT_BASELINE_PATH",
@@ -112,16 +111,13 @@ def _event_storm(
 
 def _fig7_point(seed: int = 0) -> Tuple[int, float, float]:
     """One fixed-rate RBFT run; return (events, wall, throughput)."""
-    deployment = make_deployment("rbft", 8, SMOKE, seed=seed)
-    start = time.perf_counter()
-    result = _execute_run(
-        deployment,
-        static_profile(FIG7_RATE, SMOKE.duration),
-        duration=SMOKE.duration,
-        warmup=SMOKE.warmup,
+    scenario = Scenario(
+        protocol="rbft", payload=8, rate=FIG7_RATE, seed=seed, scale=SMOKE
     )
+    start = time.perf_counter()
+    result = run_scenario(scenario)
     wall = time.perf_counter() - start
-    return deployment.sim.dispatched, wall, result.executed_rate
+    return result.events, wall, result.executed_rate
 
 
 def _load_baseline(path: Optional[str]) -> Optional[dict]:

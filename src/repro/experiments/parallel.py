@@ -38,10 +38,9 @@ import tempfile
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
-from repro.clients import static_profile
-
 from . import runner
 from .scale import ScenarioScale, current_scale
+from .scenario import Scenario, run as run_scenario
 
 __all__ = ["RunSpec", "resolve_jobs", "execute_specs", "execute_tasks"]
 
@@ -97,32 +96,26 @@ def _execute_spec(spec: RunSpec):
             spec.exec_cost, spec.seed,
         )
     if spec.kind == "static":
-        return runner.run_static(
-            spec.protocol, spec.payload, rate=spec.rate, scale=spec.scale,
-            attack=spec.attack, f=spec.f, seed=spec.seed,
-            exec_cost=spec.exec_cost,
-        )
+        return run_scenario(Scenario(
+            protocol=spec.protocol, payload=spec.payload, load="static",
+            rate=spec.rate, attack=spec.attack, f=spec.f, seed=spec.seed,
+            exec_cost=spec.exec_cost, scale=spec.scale,
+        ))
     if spec.kind == "dynamic":
-        return runner.run_dynamic(
-            spec.protocol, spec.payload, per_client_rate=spec.rate,
-            scale=spec.scale, attack=spec.attack, f=spec.f, seed=spec.seed,
-            exec_cost=spec.exec_cost,
-        )
+        return run_scenario(Scenario(
+            protocol=spec.protocol, payload=spec.payload, load="dynamic",
+            rate=spec.rate, attack=spec.attack, f=spec.f, seed=spec.seed,
+            exec_cost=spec.exec_cost, scale=spec.scale,
+        ))
     if spec.kind == "curve-point":
-        deployment = runner.make_deployment(
-            spec.protocol, spec.payload, spec.scale, f=spec.f,
-            seed=spec.seed, exec_cost=spec.exec_cost,
-        )
-        result = runner._execute_run(
-            deployment,
-            static_profile(spec.rate, spec.duration),
-            duration=spec.duration,
-            warmup=spec.warmup,
-        )
-        result.protocol = spec.protocol
-        result.payload = spec.payload
-        result.offered_rate = spec.rate
-        return result
+        # A curve point is a static run with a pinned rate and an
+        # explicit (shorter) measurement window.
+        return run_scenario(Scenario(
+            protocol=spec.protocol, payload=spec.payload, load="static",
+            rate=spec.rate, f=spec.f, seed=spec.seed,
+            exec_cost=spec.exec_cost, scale=spec.scale,
+            duration=spec.duration, warmup=spec.warmup,
+        ))
     raise ValueError("unknown spec kind %r" % spec.kind)
 
 

@@ -1,0 +1,232 @@
+"""Protocol microbenchmark: ``python -m repro.experiments bench protocol``.
+
+Where ``bench kernel`` isolates the discrete-event kernel (its storm
+spends all wall clock inside scheduling machinery), this benchmark
+measures the **protocol hot path**: digest/authenticator cost lookups,
+message routing, quorum tracking, batching and NIC/channel delivery —
+the per-message Python work the RBFT paper attributes to cryptography
+and message handling on the master's cores (§VI-B).
+
+Two fixed-seed, fixed-rate workloads (no capacity probes, so the event
+counts are identical on every machine and across refactors):
+
+* a **fig7 point** — fault-free RBFT at the SMOKE scale under a fixed
+  offered load: the fault-free pipeline (verification, propagation,
+  dispatch, f+1 ordering instances, execution) at saturation;
+* an **attack point** — the same deployment under worst-attack-1
+  (flooding + targeted MAC corruption): exercises the flooding defence,
+  invalid-message accounting, monitoring and instance changes.
+
+The headline ``events_per_sec`` is the combined dispatch rate over both
+workloads.  ``BENCH_protocol.json`` records it next to the speedup
+against the checked-in reference baseline
+(``benchmarks/protocol_baseline.json``, recorded on the reference
+development machine *before* the protocol hot-path optimisation pass).
+
+``--check`` turns the benchmark into a CI gate: the job fails when
+events/sec regresses more than 20 % below the baseline.  Absolute rates
+vary across machines, so the gate is deliberately loose — it catches
+"the memoised hot path got lost", not percent-level drift.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Optional, Tuple
+
+from .scale import SMOKE
+
+__all__ = [
+    "DEFAULT_BASELINE_PATH",
+    "REGRESSION_TOLERANCE",
+    "run_protocol_bench",
+    "write_protocol_bench",
+]
+
+DEFAULT_BASELINE_PATH = os.path.join("benchmarks", "protocol_baseline.json")
+
+#: CI fails when events/sec drops more than this fraction below baseline.
+REGRESSION_TOLERANCE = 0.20
+
+#: fixed offered loads — probing capacity would add runs whose length
+#: depends on the machine's speed, breaking cross-machine comparability.
+FIG7_RATE = 24_000.0
+ATTACK_RATE = 16_000.0
+BENCH_SEED = 7
+
+
+def _protocol_point(attack: Optional[str], rate: float) -> Tuple[int, float, float]:
+    """One fixed-rate RBFT run; return (events, wall, executed rate)."""
+    from .scenario import Scenario, run
+
+    scenario = Scenario(
+        protocol="rbft",
+        payload=8,
+        rate=rate,
+        attack=attack,
+        seed=BENCH_SEED,
+        scale=SMOKE,
+    )
+    start = time.perf_counter()
+    result = run(scenario)
+    wall = time.perf_counter() - start
+    return result.events, wall, result.executed_rate
+
+
+def _load_baseline(path: Optional[str]) -> Optional[dict]:
+    if not path or not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as fileobj:
+            return json.load(fileobj)
+    except (OSError, ValueError):
+        return None
+
+
+def run_protocol_bench(
+    repeat: int = 3, baseline_path: Optional[str] = None
+) -> dict:
+    """Execute both workloads ``repeat`` times; keep the best wall clock.
+
+    Event counts are checked to be identical across repeats — a varying
+    count means the benchmark (or the simulator's determinism) broke.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    fig7_events, fig7_wall, fig7_rate = _protocol_point(None, FIG7_RATE)
+    atk_events, atk_wall, atk_rate = _protocol_point("rbft-worst1", ATTACK_RATE)
+    for _ in range(repeat - 1):
+        events, wall, _ = _protocol_point(None, FIG7_RATE)
+        if events != fig7_events:
+            raise RuntimeError(
+                "fig7 point dispatched %d events, expected %d — protocol "
+                "determinism broke" % (events, fig7_events)
+            )
+        fig7_wall = min(fig7_wall, wall)
+        events, wall, _ = _protocol_point("rbft-worst1", ATTACK_RATE)
+        if events != atk_events:
+            raise RuntimeError(
+                "attack point dispatched %d events, expected %d — protocol "
+                "determinism broke" % (events, atk_events)
+            )
+        atk_wall = min(atk_wall, wall)
+
+    total_events = fig7_events + atk_events
+    total_wall = fig7_wall + atk_wall
+    eps = total_events / total_wall if total_wall > 0 else 0.0
+    fig7_eps = fig7_events / fig7_wall if fig7_wall > 0 else 0.0
+    atk_eps = atk_events / atk_wall if atk_wall > 0 else 0.0
+
+    record = {
+        "schema": "rbft-bench-protocol/1",
+        "repeat": repeat,
+        "seed": BENCH_SEED,
+        # Headline: combined dispatch rate over both protocol workloads.
+        "events_per_sec": round(eps, 1),
+        "wall_clock_s": round(total_wall, 4),
+        "fig7": {
+            "events": fig7_events,
+            "wall_clock_s": round(fig7_wall, 4),
+            "events_per_sec": round(fig7_eps, 1),
+            "offered_rps": FIG7_RATE,
+            "throughput_rps": round(fig7_rate, 1),
+        },
+        "attack": {
+            "events": atk_events,
+            "wall_clock_s": round(atk_wall, 4),
+            "events_per_sec": round(atk_eps, 1),
+            "offered_rps": ATTACK_RATE,
+            "attack": "rbft-worst1",
+            "throughput_rps": round(atk_rate, 1),
+        },
+    }
+    baseline = _load_baseline(baseline_path)
+    if baseline and baseline.get("events_per_sec"):
+        record["baseline"] = {
+            "path": baseline_path,
+            "events_per_sec": baseline["events_per_sec"],
+            "recorded": baseline.get("recorded", "pre-memoisation protocol"),
+        }
+        record["speedup"] = round(eps / baseline["events_per_sec"], 3)
+        for part in ("fig7", "attack"):
+            part_base = baseline.get(part, {}).get("events_per_sec")
+            if part_base:
+                record[part]["speedup"] = round(
+                    record[part]["events_per_sec"] / part_base, 3
+                )
+    return record
+
+
+def check_regression(
+    record: dict, baseline: Optional[dict] = None
+) -> Optional[str]:
+    """Return a violation message when the benchmark regressed, else None.
+
+    Two failure modes: events/sec below the tolerance floor (a lost
+    optimisation), and drift in the **deterministic** per-workload
+    numbers — event counts and executed throughput are pure functions of
+    the seed, so any difference from the full baseline means protocol
+    behaviour changed, however fast it runs.
+    """
+    summary = record.get("baseline")
+    if not summary:
+        return None
+    floor = (1.0 - REGRESSION_TOLERANCE) * summary["events_per_sec"]
+    if record["events_per_sec"] < floor:
+        return (
+            "protocol events/sec %.0f regressed more than %.0f%% below the "
+            "baseline %.0f (floor %.0f)"
+            % (
+                record["events_per_sec"],
+                REGRESSION_TOLERANCE * 100,
+                summary["events_per_sec"],
+                floor,
+            )
+        )
+    baseline = baseline if baseline is not None else _load_baseline(
+        summary.get("path")
+    )
+    if baseline:
+        for part in ("fig7", "attack"):
+            for key in ("events", "throughput_rps"):
+                expected = baseline.get(part, {}).get(key)
+                got = record[part].get(key)
+                if expected is not None and got != expected:
+                    return (
+                        "%s %s drifted from the baseline (%s != %s) — "
+                        "seeded protocol behaviour changed" % (part, key, got, expected)
+                    )
+    return None
+
+
+def write_protocol_bench(
+    output: str = "BENCH_protocol.json",
+    baseline_path: Optional[str] = DEFAULT_BASELINE_PATH,
+    repeat: int = 3,
+    check: bool = False,
+) -> int:
+    """Run, write the artifact, print a summary; non-zero on regression."""
+    record = run_protocol_bench(repeat=repeat, baseline_path=baseline_path)
+    violation = check_regression(record) if check else None
+    record["violations"] = [violation] if violation else []
+    with open(output, "w", encoding="utf-8") as fileobj:
+        json.dump(record, fileobj, indent=2, sort_keys=True)
+        fileobj.write("\n")
+    speedup = record.get("speedup")
+    print(
+        "bench protocol: %.0f events/s (fig7 %.0f, attack %.0f) | wall %.2fs%s -> %s"
+        % (
+            record["events_per_sec"],
+            record["fig7"]["events_per_sec"],
+            record["attack"]["events_per_sec"],
+            record["wall_clock_s"],
+            " | %.2fx vs baseline" % speedup if speedup else "",
+            output,
+        )
+    )
+    if violation:
+        print("BENCH REGRESSION: %s" % violation)
+        return 1
+    return 0

@@ -19,10 +19,11 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.clients import LoadGenerator, dynamic_profile, static_profile
+from repro.clients import LoadGenerator, static_profile
 from repro.common import NullService
 from repro.core import RBFTConfig
 from repro.faults import (
@@ -32,20 +33,10 @@ from repro.faults import (
     install_rbft_worst_attack_2,
     install_spinning_attack,
 )
-from repro.protocols.aardvark import AardvarkConfig
-from repro.protocols.base import NodeConfig
-from repro.protocols.pbft.engine import InstanceConfig
-from repro.protocols.prime import PrimeConfig
-from repro.protocols.spinning import SpinningConfig
+from repro.net.network import LinkProfile
+from repro.protocols import registry as protocol_registry
 
-from .deployments import (
-    Deployment,
-    build_aardvark,
-    build_pbft,
-    build_prime,
-    build_rbft,
-    build_spinning,
-)
+from .deployments import Deployment
 from .scale import ScenarioScale, current_scale
 
 __all__ = [
@@ -63,16 +54,9 @@ __all__ = [
     "PROTOCOL_VARIANTS",
 ]
 
-PROTOCOL_VARIANTS = (
-    "rbft",
-    "rbft-udp",
-    "rbft-full-order",
-    "aardvark",
-    "aardvark-no-vc",
-    "spinning",
-    "prime",
-    "pbft",
-)
+#: registered variant names, in registration order (see
+#: :mod:`repro.protocols.registry`, the single source of truth).
+PROTOCOL_VARIANTS = protocol_registry.names()
 
 #: capacity cache: (protocol, payload, f, exec_cost, scale name, seed)
 #: -> requests/second.  In-memory, per-process; when the
@@ -136,6 +120,7 @@ class RunResult:
     p99_latency: float
     instance_changes: int = 0
     view_changes: int = 0
+    events: int = 0  # simulator queue items dispatched over the run
 
 
 def make_deployment(
@@ -146,59 +131,19 @@ def make_deployment(
     seed: int = 0,
     exec_cost: float = 20e-6,
     n_clients: int = 12,
+    link: Optional[LinkProfile] = None,
 ) -> Deployment:
     """Stand up one of the protocol variants on identical hardware."""
     scale = scale or current_scale()
+    spec = protocol_registry.get(protocol)
 
     def service():
         return NullService(exec_cost=exec_cost)
 
-    if protocol in ("rbft", "rbft-udp", "rbft-full-order"):
-        config = RBFTConfig(
-            f=f,
-            monitoring_period=scale.monitoring_period,
-            order_full_requests=(protocol == "rbft-full-order"),
-        )
-        return build_rbft(
-            config,
-            n_clients=n_clients,
-            payload=payload,
-            service_factory=service,
-            tcp=(protocol != "rbft-udp"),
-            seed=seed,
-        )
-    if protocol in ("aardvark", "aardvark-no-vc"):
-        config = AardvarkConfig(
-            instance=InstanceConfig(f=f),
-            grace_period=(1e9 if protocol == "aardvark-no-vc" else scale.aardvark_grace),
-            requirement_period=scale.aardvark_period,
-            heartbeat_timeout=0.2,
-        )
-        return build_aardvark(
-            config, n_clients=n_clients, payload=payload,
-            service_factory=service, seed=seed,
-        )
-    if protocol == "spinning":
-        config = SpinningConfig(
-            instance=InstanceConfig(f=f, auto_advance_view=True, multicast_auth=True)
-        )
-        return build_spinning(
-            config, n_clients=n_clients, payload=payload,
-            service_factory=service, seed=seed,
-        )
-    if protocol == "prime":
-        config = PrimeConfig(f=f)
-        return build_prime(
-            config, n_clients=n_clients, payload=payload,
-            service_factory=service, seed=seed,
-        )
-    if protocol == "pbft":
-        config = NodeConfig(instance=InstanceConfig(f=f))
-        return build_pbft(
-            config, n_clients=n_clients, payload=payload,
-            service_factory=service, seed=seed,
-        )
-    raise ValueError("unknown protocol variant %r" % protocol)
+    return spec.build(
+        f, scale, payload=payload, n_clients=n_clients,
+        service_factory=service, seed=seed, link=link,
+    )
 
 
 def _correct_observers(deployment: Deployment, faulty_nodes) -> list:
@@ -261,6 +206,7 @@ def _execute_run(
         p99_latency=generator.latency_percentile(0.99),
         instance_changes=instance_changes,
         view_changes=view_changes,
+        events=sim.dispatched,
     )
 
 
@@ -336,6 +282,15 @@ def _attack_for(protocol: str, attack: Optional[str]) -> Optional[str]:
     return attack
 
 
+def _deprecated_shim(name: str) -> None:
+    warnings.warn(
+        "%s() is deprecated; use repro.experiments.run(Scenario(...)) "
+        "instead" % name,
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def run_static(
     protocol: str,
     payload: int = 8,
@@ -346,38 +301,17 @@ def run_static(
     seed: int = 0,
     exec_cost: float = 20e-6,
 ) -> RunResult:
-    """One saturating static-load run, optionally under attack."""
-    scale = scale or current_scale()
-    if rate is None:
-        rate = 1.25 * probe_capacity(
-            protocol, payload, scale, f, exec_cost, seed
-        )
-    deployment = make_deployment(
-        protocol, payload, scale, f=f, seed=seed, exec_cost=exec_cost
-    )
-    send_kwargs = {}
-    faulty_nodes = None
-    attack_name = _attack_for(protocol, attack)
-    if attack_name is not None:
-        handle = ATTACK_INSTALLERS[attack_name](deployment)
-        send_kwargs = getattr(handle, "client_send_kwargs", {}) or {}
-        faulty_nodes = getattr(handle, "faulty_nodes", None)
-        if faulty_nodes is None and attack_name in (
-            "prime", "aardvark", "spinning"
-        ):
-            faulty_nodes = [deployment.nodes[0]]
-    result = _execute_run(
-        deployment,
-        static_profile(rate, scale.duration),
-        duration=scale.duration,
-        warmup=scale.warmup,
-        send_kwargs=send_kwargs,
-        faulty_nodes=faulty_nodes,
-    )
-    result.protocol = protocol
-    result.payload = payload
-    result.offered_rate = rate
-    return result
+    """Deprecated shim: one saturating static-load run.
+
+    Use ``run(Scenario(protocol=..., load="static", ...))`` instead.
+    """
+    from .scenario import Scenario, run
+
+    _deprecated_shim("run_static")
+    return run(Scenario(
+        protocol=protocol, payload=payload, load="static", rate=rate,
+        attack=attack, f=f, seed=seed, exec_cost=exec_cost, scale=scale,
+    ))
 
 
 def run_dynamic(
@@ -390,51 +324,18 @@ def run_dynamic(
     seed: int = 0,
     exec_cost: float = 20e-6,
 ) -> RunResult:
-    """One spike-workload run (§VI-A), optionally under attack."""
-    scale = scale or current_scale()
-    if per_client_rate is None:
-        capacity = probe_capacity(
-            protocol, payload, scale, f, exec_cost, seed
-        )
-        per_client_rate = capacity / 12.0  # 10 clients ≈ 83 % of capacity
-    # §VI-A: "similar workloads have been used for the other request
-    # sizes with possibly fewer clients as the peak throughput has been
-    # reached with fewer clients" — large payloads spike less violently.
-    spike_clients = 50 if payload <= 512 else 18
-    deployment = make_deployment(
-        protocol, payload, scale, f=f, seed=seed, exec_cost=exec_cost,
-        n_clients=spike_clients,
-    )
-    send_kwargs = {}
-    faulty_nodes = None
-    attack_name = _attack_for(protocol, attack)
-    if attack_name is not None:
-        handle = ATTACK_INSTALLERS[attack_name](deployment)
-        send_kwargs = getattr(handle, "client_send_kwargs", {}) or {}
-        faulty_nodes = getattr(handle, "faulty_nodes", None)
-        if faulty_nodes is None and attack_name in (
-            "prime", "aardvark", "spinning"
-        ):
-            faulty_nodes = [deployment.nodes[0]]
-    # "When the load is dynamic, we consider the average throughput
-    # observed on the whole experiment" (§VI-A): no warm-up cut.
-    profile = dynamic_profile(
-        per_client_rate, scale.duration, spike_clients=spike_clients
-    )
-    result = _execute_run(
-        deployment,
-        profile,
-        duration=scale.duration,
-        warmup=0.0,
-        send_kwargs=send_kwargs,
-        faulty_nodes=faulty_nodes,
-    )
-    result.protocol = protocol
-    result.payload = payload
-    # The true time-averaged offered load of the spike profile — the
-    # old ``per_client_rate * 10`` ignored the spike phase entirely.
-    result.offered_rate = profile.mean_rate()
-    return result
+    """Deprecated shim: one spike-workload run (§VI-A).
+
+    Use ``run(Scenario(protocol=..., load="dynamic", ...))`` instead.
+    """
+    from .scenario import Scenario, run
+
+    _deprecated_shim("run_dynamic")
+    return run(Scenario(
+        protocol=protocol, payload=payload, load="dynamic",
+        rate=per_client_rate, attack=attack, f=f, seed=seed,
+        exec_cost=exec_cost, scale=scale,
+    ))
 
 
 def relative_throughput(
@@ -448,15 +349,15 @@ def relative_throughput(
     exec_cost: float = 20e-6,
 ) -> Tuple[float, RunResult, RunResult]:
     """Throughput under attack as a percentage of the fault-free run."""
-    runner = run_dynamic if dynamic else run_static
-    fault_free = runner(
-        protocol, payload, scale=scale, attack=None, f=f, seed=seed,
-        exec_cost=exec_cost,
+    from .scenario import Scenario, run
+
+    base = Scenario(
+        protocol=protocol, payload=payload,
+        load="dynamic" if dynamic else "static", scale=scale, f=f,
+        seed=seed, exec_cost=exec_cost,
     )
-    attacked = runner(
-        protocol, payload, scale=scale, attack=attack, f=f, seed=seed,
-        exec_cost=exec_cost,
-    )
+    fault_free = run(base)
+    attacked = run(base.with_(attack=attack))
     if fault_free.executed_rate <= 0:
         return 0.0, fault_free, attacked
     percent = 100.0 * attacked.executed_rate / fault_free.executed_rate
@@ -638,7 +539,9 @@ def unfair_primary_run(
         monitoring_period=scale.monitoring_period,
         lambda_max=lambda_max,
     )
-    deployment = build_rbft(config, n_clients=2, payload=payload)
+    deployment = protocol_registry.get("rbft").builder(
+        config, n_clients=2, payload=payload
+    )
     victim, other = deployment.clients[0], deployment.clients[1]
 
     def schedule(i: int) -> float:

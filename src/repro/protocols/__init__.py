@@ -1,5 +1,6 @@
 """BFT protocol implementations: the PBFT core and the robust baselines."""
 
 from .base import BftNode, ClientRequestMsg, NodeConfig, ReplyMsg
+from . import registry
 
-__all__ = ["BftNode", "ClientRequestMsg", "NodeConfig", "ReplyMsg"]
+__all__ = ["BftNode", "ClientRequestMsg", "NodeConfig", "ReplyMsg", "registry"]

@@ -163,6 +163,28 @@ class OrderingInstance:
         #: trace identity, e.g. "node2/i1" — one per (replica, instance).
         self._trace_name = "%s/i%d" % (replica, instance)
 
+        # Hot-path constants (cf. RBFTNode._propagate_rx_cost): the cost
+        # model is pure and the authenticator immutable, so everything
+        # that does not depend on the message is computed once here and
+        # per-size results are memoised below.
+        self._auth = MacAuthenticator.for_signer(replica)
+        self._cert_send_cost = costs.authenticator_gen(DIGEST_SIZE, config.n - 1)
+        self._small_rx_cost = (
+            costs.authenticator_verify(DIGEST_SIZE) + config.rx_overhead
+        )
+        self._preprepare_rx_costs: Dict[int, float] = {}
+        self._batch_send_costs: Dict[int, float] = {}
+        self._primary_cache_view = -1
+        self._primary_cache = False
+        self._dispatch_handlers = {
+            PrePrepare: self._on_preprepare,
+            Prepare: self._on_prepare,
+            Commit: self._on_commit,
+            Checkpoint: self._on_checkpoint,
+            ViewChange: self._on_view_change,
+            NewView: self._on_new_view,
+        }
+
     # ------------------------------------------------------------ identity
     def primary_index(self, view: Optional[int] = None) -> int:
         view = self.view if view is None else view
@@ -175,7 +197,18 @@ class OrderingInstance:
 
     @property
     def is_primary(self) -> bool:
-        return self.primary_index() == self.index
+        # ``submit`` asks once per pooled item, so the round-robin case
+        # is cached per view.  A custom selector (Spinning consults a
+        # mutable blacklist) is never cached.
+        if self.primary_selector is not None:
+            return self.primary_selector(self.view) == self.index
+        view = self.view
+        if view != self._primary_cache_view:
+            self._primary_cache_view = view
+            self._primary_cache = (
+                (view + self.primary_offset) % self.config.n == self.index
+            )
+        return self._primary_cache
 
     # ------------------------------------------------------------- ingress
     def submit(self, item) -> None:
@@ -234,16 +267,19 @@ class OrderingInstance:
             items,
             digest,
             payload,
-            MacAuthenticator(self.replica),
+            self._auth,
         )
         # PBFT-lineage implementations MAC the whole ordering message once
         # per recipient (no digest shortcut) — this is what makes ordering
         # full requests expensive and identifier ordering cheap (§VI-B).
         # Multicast deployments hash the single packet once instead.
-        if self.config.multicast_auth:
-            cost = self.costs.authenticator_gen(payload, self.config.n - 1)
-        else:
-            cost = (self.config.n - 1) * self.costs.mac_gen(payload)
+        cost = self._batch_send_costs.get(payload)
+        if cost is None:
+            if self.config.multicast_auth:
+                cost = self.costs.authenticator_gen(payload, self.config.n - 1)
+            else:
+                cost = (self.config.n - 1) * self.costs.mac_gen(payload)
+            self._batch_send_costs[payload] = cost
         delay = self.preprepare_delay_fn(msg) if self.preprepare_delay_fn else 0.0
         self.core.submit(cost, self._send_preprepare, msg, delay)
 
@@ -274,35 +310,41 @@ class OrderingInstance:
     # ------------------------------------------------------------- receive
     def receive(self, msg: OrderingMessage) -> None:
         """Entry point from the node's router: charge CPU, then dispatch."""
-        cost = self._verify_cost(msg) + self.config.rx_overhead
+        cls = msg.__class__
+        if cls is PrePrepare:
+            payload = msg.payload_size
+            cost = self._preprepare_rx_costs.get(payload)
+            if cost is None:
+                if self.config.multicast_auth:
+                    cost = self.costs.authenticator_verify(payload)
+                else:
+                    cost = self.costs.mac_verify(payload)
+                cost = cost + self.config.rx_overhead
+                self._preprepare_rx_costs[payload] = cost
+        elif cls is ViewChange or cls is NewView:
+            cost = self.costs.sig_verify(msg.wire_size()) + self.config.rx_overhead
+        else:
+            # Prepare / Commit / Checkpoint: fixed-size digest payloads.
+            cost = self._small_rx_cost
         self.core.submit(cost, self._dispatch, msg)
-
-    def _verify_cost(self, msg: OrderingMessage) -> float:
-        if isinstance(msg, PrePrepare):
-            if self.config.multicast_auth:
-                return self.costs.authenticator_verify(msg.payload_size)
-            return self.costs.mac_verify(msg.payload_size)
-        if isinstance(msg, (ViewChange, NewView)):
-            return self.costs.sig_verify(msg.wire_size())
-        return self.costs.authenticator_verify(DIGEST_SIZE)
 
     def _dispatch(self, msg: OrderingMessage) -> None:
         if not msg.authenticator.valid_for(self.replica):
             if self.on_invalid is not None:
                 self.on_invalid(msg.sender)
             return  # verification failed: the CPU cost is already paid
-        if isinstance(msg, PrePrepare):
-            self._on_preprepare(msg)
-        elif isinstance(msg, Prepare):
-            self._on_prepare(msg)
-        elif isinstance(msg, Commit):
-            self._on_commit(msg)
-        elif isinstance(msg, Checkpoint):
-            self._on_checkpoint(msg)
-        elif isinstance(msg, ViewChange):
-            self._on_view_change(msg)
-        elif isinstance(msg, NewView):
-            self._on_new_view(msg)
+        handlers = self._dispatch_handlers
+        handler = handlers.get(msg.__class__)
+        if handler is None:
+            # Unknown exact class (e.g. a subclass): resolve through the
+            # MRO once and cache the binding.
+            for base in type(msg).__mro__[1:]:
+                handler = handlers.get(base)
+                if handler is not None:
+                    handlers[type(msg)] = handler
+                    break
+        if handler is not None:
+            handler(msg)
 
     # ------------------------------------------------------- future buffer
     def _buffer_future(self, msg) -> None:
@@ -360,10 +402,9 @@ class OrderingInstance:
                 msg.view,
                 msg.seq,
                 msg.digest,
-                MacAuthenticator(self.replica),
+                self._auth,
             )
-            cost = self.costs.authenticator_gen(DIGEST_SIZE, self.config.n - 1)
-            self.core.submit(cost, self.transport.broadcast, prepare)
+            self.core.submit(self._cert_send_cost, self.transport.broadcast, prepare)
             if self._prepare_votes.add(key, self.replica):
                 self._mark_prepared(msg.seq, msg.view, msg.digest)
                 return
@@ -401,11 +442,9 @@ class OrderingInstance:
         key = (view, seq, digest)
         if not self.silent:
             commit = Commit(
-                self.replica, self.instance, view, seq, digest,
-                MacAuthenticator(self.replica),
+                self.replica, self.instance, view, seq, digest, self._auth,
             )
-            cost = self.costs.authenticator_gen(DIGEST_SIZE, self.config.n - 1)
-            self.core.submit(cost, self.transport.broadcast, commit)
+            self.core.submit(self._cert_send_cost, self.transport.broadcast, commit)
             self._commit_votes.add(key, self.replica)
         self._maybe_commit(seq, view, digest)
 
@@ -472,11 +511,8 @@ class OrderingInstance:
         digest = Digest(("ckpt", self.instance, seq))
         key = (seq, digest)
         if not self.silent:
-            msg = Checkpoint(
-                self.replica, self.instance, seq, digest, MacAuthenticator(self.replica)
-            )
-            cost = self.costs.authenticator_gen(DIGEST_SIZE, self.config.n - 1)
-            self.core.submit(cost, self.transport.broadcast, msg)
+            msg = Checkpoint(self.replica, self.instance, seq, digest, self._auth)
+            self.core.submit(self._cert_send_cost, self.transport.broadcast, msg)
             if self._checkpoint_votes.add(key, self.replica):
                 self._stabilize(seq)
 
@@ -563,7 +599,7 @@ class OrderingInstance:
             new_view,
             self.low_watermark,
             prepared,
-            MacAuthenticator(self.replica),
+            self._auth,
         )
         cost = self.costs.sig_gen(msg.wire_size())
         self.core.submit(cost, self.transport.broadcast, msg)
@@ -616,7 +652,7 @@ class OrderingInstance:
                 self.instance,
                 new_view,
                 repropose,
-                MacAuthenticator(self.replica),
+                self._auth,
             )
             cost = self.costs.sig_gen(msg.wire_size())
             self.core.submit(cost, self.transport.broadcast, msg)
@@ -671,7 +707,7 @@ class OrderingInstance:
                 items,
                 digest,
                 batch_payload_size(items, self.config.full_payload),
-                MacAuthenticator(self.replica),
+                self._auth,
             )
             if as_primary:
                 self._record_preprepare(msg)

@@ -5,9 +5,10 @@ instrumented layer — the event kernel, CPU cores, NICs and channels, the
 RBFT module pipeline, the monitoring module and the ordering engines —
 emits typed :class:`TraceEvent` records::
 
+    from repro.experiments import make_deployment
     from repro.trace import Tracer
 
-    deployment = build_rbft(config)
+    deployment = make_deployment("rbft")
     deployment.sim.tracer = Tracer()
     deployment.sim.run(until=1.0)
     events = deployment.sim.tracer.events()

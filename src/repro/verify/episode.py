@@ -17,7 +17,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.clients import LoadGenerator, static_profile
 from repro.core import RBFTConfig
-from repro.experiments.deployments import build_rbft
+from repro.protocols import registry as protocol_registry
 
 from .invariants import InvariantSuite
 from .vocabulary import FaultSpec, install_plan
@@ -128,7 +128,9 @@ def run_episode(
         min_monitor_requests=spec.min_monitor_requests,
         flood_threshold=spec.flood_threshold,
     )
-    deployment = build_rbft(config, n_clients=spec.n_clients, seed=spec.seed)
+    deployment = protocol_registry.get("rbft").builder(
+        config, n_clients=spec.n_clients, seed=spec.seed
+    )
     if mutate is not None:
         mutate(deployment)
     handle = install_plan(deployment, spec.plan)

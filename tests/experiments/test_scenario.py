@@ -1,0 +1,79 @@
+"""Scenario/run(): equivalence with the legacy entry points.
+
+The redesign's contract: ``run(Scenario(...))`` is the only internal
+run path, and the deprecated ``run_static``/``run_dynamic`` shims are
+thin wrappers over it — so for every protocol the two must produce
+*identical* results (RunResult is a plain dataclass; equality is
+field-by-field, covering rates, latencies and event counts).
+"""
+
+import warnings
+
+import pytest
+
+from repro.experiments import SMOKE, Scenario, run, run_dynamic, run_static
+
+#: one representative per protocol family (variants share the builders).
+PROTOCOLS = ["rbft", "aardvark", "spinning", "prime", "pbft"]
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_scenario_matches_run_static(protocol):
+    scenario = Scenario(protocol=protocol, rate=2000.0, scale=SMOKE, seed=3)
+    via_scenario = run(scenario)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        via_legacy = run_static(protocol, 8, rate=2000.0, scale=SMOKE, seed=3)
+    assert via_scenario == via_legacy
+
+
+def test_scenario_matches_run_dynamic():
+    scenario = Scenario(
+        protocol="rbft", load="dynamic", rate=300.0, scale=SMOKE, seed=1
+    )
+    via_scenario = run(scenario)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        via_legacy = run_dynamic(
+            "rbft", 8, per_client_rate=300.0, scale=SMOKE, seed=1
+        )
+    assert via_scenario == via_legacy
+
+
+def test_runs_are_deterministic():
+    scenario = Scenario(protocol="rbft", rate=2000.0, scale=SMOKE)
+    assert run(scenario) == run(scenario)
+
+
+def test_scenario_run_method_delegates():
+    scenario = Scenario(protocol="pbft", rate=2000.0, scale=SMOKE)
+    assert scenario.run() == run(scenario)
+
+
+def test_attack_scenarios_run():
+    scenario = Scenario(
+        protocol="rbft", rate=2000.0, attack="rbft-worst1", scale=SMOKE
+    )
+    result = run(scenario)
+    assert result.executed_rate > 0
+
+
+def test_legacy_entry_points_warn():
+    with pytest.warns(DeprecationWarning, match="run_static"):
+        run_static("pbft", 8, rate=2000.0, scale=SMOKE)
+    with pytest.warns(DeprecationWarning, match="run_dynamic"):
+        run_dynamic("pbft", 8, per_client_rate=300.0, scale=SMOKE)
+
+
+def test_scenario_rejects_unknown_load():
+    with pytest.raises(ValueError, match="unknown load"):
+        Scenario(protocol="rbft", load="bursty")
+
+
+def test_with_replaces_fields():
+    base = Scenario(protocol="rbft", rate=2000.0)
+    attacked = base.with_(attack="rbft-worst1", seed=9)
+    assert attacked.protocol == "rbft"
+    assert attacked.attack == "rbft-worst1"
+    assert attacked.seed == 9
+    assert base.attack is None  # frozen: the original is untouched

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Forbid direct ``build_*`` deployment imports inside the library.
+
+The protocol registry (``repro.protocols.registry``) is the one place
+that maps variant names to deployment builders; ``Scenario``/``run``
+and ``make_deployment`` resolve through it.  Library code importing
+``build_rbft`` and friends directly bypasses that indirection, and the
+variant it hard-codes silently falls out of sync with the registry.
+
+Allowed:
+
+* ``repro/experiments/deployments.py`` — defines the builders;
+* ``repro/protocols/registry.py`` — maps names to them;
+* ``repro/experiments/__init__.py`` — re-exports them for downstream
+  users (the builders stay public; only *internal* use is restricted).
+
+Everything else under ``src/repro`` must go through the registry.
+Exits non-zero listing offending ``file:line`` locations, so CI can run
+it as a lint step.  Tests, benchmarks and examples are exempt: they may
+pin a concrete builder on purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+BUILDERS = frozenset(
+    ["build_rbft", "build_aardvark", "build_spinning", "build_prime", "build_pbft"]
+)
+
+ALLOWED = frozenset(
+    [
+        os.path.join("repro", "experiments", "deployments.py"),
+        os.path.join("repro", "experiments", "__init__.py"),
+        os.path.join("repro", "protocols", "registry.py"),
+    ]
+)
+
+
+def violations_in(path: str, rel: str):
+    """Yield (line, name) for each direct builder import in one file."""
+    with open(path, "r", encoding="utf-8") as fileobj:
+        try:
+            tree = ast.parse(fileobj.read(), filename=rel)
+        except SyntaxError as exc:
+            yield (exc.lineno or 0, "syntax error: %s" % exc.msg)
+            return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name in BUILDERS:
+                    yield (node.lineno, alias.name)
+        elif isinstance(node, ast.Attribute) and node.attr in BUILDERS:
+            yield (node.lineno, node.attr)
+
+
+def main(argv) -> int:
+    root = argv[1] if len(argv) > 1 else "src"
+    found = []
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(root, "repro")):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            rel = os.path.relpath(path, root)
+            if rel in ALLOWED:
+                continue
+            for line, name in violations_in(path, rel):
+                found.append("%s:%d: direct use of %s" % (rel, line, name))
+    if found:
+        print("lint_builders: library code must resolve deployments via")
+        print("repro.protocols.registry (or make_deployment), not build_*:")
+        for entry in found:
+            print("  " + entry)
+        return 1
+    print("lint_builders: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
