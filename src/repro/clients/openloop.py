@@ -107,6 +107,10 @@ class OpenLoopClient:
             self.completed += 1
             self.latencies.record(self.sim.now - sent)
             del self._sent_at[reply.rid]
+            # Late replies for this rid short-circuit on ``_sent_at``
+            # above, so the vote state is unreachable — drop it rather
+            # than let it grow with every request ever completed.
+            self._reply_votes.discard((reply.rid, reply.result))
 
     # ----------------------------------------------------------- inspection
     @property

@@ -163,12 +163,16 @@ class LoadGenerator:
         return sum(client.sent for client in self.clients)
 
     def mean_latency(self) -> float:
-        samples: List[float] = []
+        """Exact mean over every completed request (streaming totals)."""
+        total = 0.0
+        count = 0
         for client in self.clients:
-            samples.extend(client.latencies.samples)
-        return sum(samples) / len(samples) if samples else 0.0
+            total += client.latencies.total
+            count += client.latencies.count
+        return total / count if count else 0.0
 
     def latency_percentile(self, p: float) -> float:
+        """Percentile over each client's retained sample window."""
         samples: List[float] = []
         for client in self.clients:
             samples.extend(client.latencies.samples)

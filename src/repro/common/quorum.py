@@ -74,5 +74,21 @@ class QuorumTracker:
         self._senders.pop(key, None)
         self._complete.discard(key)
 
+    def prune(self, predicate) -> int:
+        """Discard every key for which ``predicate(key)`` is true.
+
+        The checkpoint garbage collector uses this to drop all vote state
+        below the advancing low watermark in one pass; returns how many
+        keys were forgotten.
+        """
+        stale = set(key for key in self._senders if predicate(key))
+        stale.update(key for key in self._complete if predicate(key))
+        for key in stale:
+            self._senders.pop(key, None)
+            self._complete.discard(key)
+        return len(stale)
+
     def __len__(self) -> int:
-        return len(self._senders) + len(self._complete)
+        # Completed keys usually still hold their sender set, so take the
+        # union rather than the sum.
+        return len(self._senders.keys() | self._complete)

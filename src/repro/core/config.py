@@ -27,6 +27,7 @@ class RBFTConfig:
     batch_size: int = 64
     batch_delay: float = 1e-3
     checkpoint_interval: int = 128
+    watermark_window: int = 1024
     rx_overhead: float = 1.5e-6
     costs: CryptoCostModel = field(default_factory=CryptoCostModel)
 
@@ -100,6 +101,7 @@ class RBFTConfig:
             batch_size=self.batch_size,
             batch_delay=self.batch_delay,
             checkpoint_interval=self.checkpoint_interval,
+            watermark_window=self.watermark_window,
             rx_overhead=self.rx_overhead,
             full_payload=self.order_full_requests,  # identifiers by default
             auto_advance_view=False,

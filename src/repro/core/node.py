@@ -343,6 +343,11 @@ class RBFTNode:
         self._start_propagation(request)
 
     def _register_propagate(self, request_id, sender: str) -> None:
+        # Executed implies the quorum completed and was garbage-collected
+        # (or is about to be); a straggling PROPAGATE must not seed a
+        # fresh quorum that could re-dispatch the request.
+        if request_id in self.executed_ids:
+            return
         if self._propagate_votes.add(request_id, sender):
             self._maybe_dispatch(request_id)
 
@@ -380,8 +385,18 @@ class RBFTNode:
             engine.recheck_guards()
 
     def _propagation_guard(self, items: Tuple) -> bool:
-        """A replica pre-prepares only requests backed by f+1 PROPAGATEs."""
-        return all(item.request_id in self.ready_ids for item in items)
+        """A replica pre-prepares only requests backed by f+1 PROPAGATEs.
+
+        Executed requests passed the guard once already (dispatch implied
+        a complete PROPAGATE quorum), so they still qualify after their
+        ``ready_ids`` entry is garbage-collected.
+        """
+        ready = self.ready_ids
+        executed = self.executed_ids
+        return all(
+            item.request_id in ready or item.request_id in executed
+            for item in items
+        )
 
     def _on_instance_ordered(self, instance: int, seq: int, items: Tuple) -> None:
         self.monitor.count_ordered(instance, len(items))
@@ -399,8 +414,15 @@ class RBFTNode:
                     self.monitor.check_request_latency(item.client, latency)
             seen = self._ordered_by.get(request_id, 0) + 1
             if seen >= len(self.engines):
+                # Every instance has ordered this request, so none of the
+                # propagation-stage memos can be consulted usefully again:
+                # re-entry is blocked by ``executed_ids`` (retained as the
+                # durable service state) at every path that matters.
                 self._ordered_by.pop(request_id, None)
                 self._given_at.pop(request_id, None)
+                self._propagated.discard(request_id)
+                self.ready_ids.discard(request_id)
+                self._propagate_votes.discard(request_id)
             else:
                 self._ordered_by[request_id] = seen
         if master:
@@ -409,6 +431,12 @@ class RBFTNode:
     def _monitor_tick(self) -> None:
         self.sim.call_after(self.config.monitoring_period, self._monitor_tick)
         self.monitor.tick()
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                self.sim.now, "pbft.log-size", self.name,
+                **self.log_sizes(),
+            )
 
     # ------------------------------------------------------ Execution module
     def _execute_items(self, items: Tuple) -> None:
@@ -547,6 +575,24 @@ class RBFTNode:
             if self._instance_history is not None:
                 for items in self._instance_history[new_master]:
                     self._execute_items(items)
+        # Votes and choices for completed rounds are dead state: every
+        # read path rejects ``cpi < self.cpi`` first.
+        self._ic_votes.prune(lambda key: key[0] < self.cpi)
+        for stale in [c for c in self._voted_choice if c < self.cpi]:
+            del self._voted_choice[stale]
+        if self._instance_history is not None:
+            # Replaying a fully executed batch is a no-op, so only batches
+            # with at least one unexecuted request need to be retained for
+            # future promotions.
+            executed = self.executed_ids
+            self._instance_history = [
+                [
+                    batch
+                    for batch in history
+                    if any(item.request_id not in executed for item in batch)
+                ]
+                for history in self._instance_history
+            ]
         self.monitor.reset_after_change()
         for engine in self.engines:
             engine.start_view_change(engine.view + 1)
@@ -572,6 +618,33 @@ class RBFTNode:
     # -------------------------------------------------------------- inspection
     def backlog(self) -> int:
         return self.master_engine.backlog()
+
+    def log_sizes(self) -> Dict[str, int]:
+        """Per-request memo sizes plus the largest engine protocol log.
+
+        ``total`` is the worst per-instance protocol-log size across the
+        f+1 local engines (the quantity the checkpoint garbage collector
+        bounds); the remaining fields size the node's own propagation and
+        instance-change state.  ``executed_ids`` and ``request_store``
+        are reported for visibility but are deliberately not collected:
+        the former is the durable replay-dedup state, the latter empties
+        itself at execution.
+        """
+        history = 0
+        if self._instance_history is not None:
+            history = sum(len(h) for h in self._instance_history)
+        return {
+            "total": max(e.log_sizes()["total"] for e in self.engines),
+            "propagated": len(self._propagated),
+            "ready_ids": len(self.ready_ids),
+            "propagate_votes": len(self._propagate_votes),
+            "ordered_by": len(self._ordered_by),
+            "given_at": len(self._given_at),
+            "request_store": len(self.request_store),
+            "ic_votes": len(self._ic_votes),
+            "instance_history": history,
+            "executed_ids": len(self.executed_ids),
+        }
 
     def __repr__(self) -> str:
         return "RBFTNode(%s, cpi=%d, executed=%d)" % (

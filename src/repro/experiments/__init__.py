@@ -29,6 +29,7 @@ from .protocolbench import run_protocol_bench, write_protocol_bench
 from .scale import FULL, QUICK, SMOKE, ScenarioScale, current_scale
 from .scenario import Scenario, run
 from .smoke import check_bounds, run_smoke, write_smoke
+from .soak import check_soak, run_soak, write_soak
 from .stats import SweepResult, seed_sweep
 
 __all__ = [
@@ -62,6 +63,9 @@ __all__ = [
     "run_smoke",
     "check_bounds",
     "write_smoke",
+    "run_soak",
+    "check_soak",
+    "write_soak",
     "run_kernel_bench",
     "check_regression",
     "write_kernel_bench",

@@ -14,6 +14,7 @@ Beyond the paper's figures, three instrumentation commands::
     python -m repro.experiments profile fig8       # per-core bottleneck report
     python -m repro.experiments profile fig7 --trace-out fig7.trace.jsonl
     python -m repro.experiments smoke              # CI gate: BENCH_smoke.json
+    python -m repro.experiments soak               # CI gate: BENCH_soak.json
     python -m repro.experiments bench kernel       # kernel dispatch benchmark
     python -m repro.experiments bench protocol     # protocol hot-path benchmark
 
@@ -182,6 +183,12 @@ def _cmd_smoke(args) -> int:
     return write_smoke(output=args.output, seed=args.seed, jobs=args.jobs)
 
 
+def _cmd_soak(args) -> int:
+    from .soak import write_soak
+
+    return write_soak(output=args.output, seed=args.seed)
+
+
 def _cmd_bench(args) -> int:
     if args.what == "protocol":
         from .protocolbench import (
@@ -319,6 +326,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="worker processes (default: REPRO_JOBS or "
                        "cpu_count()-1; 1 = serial)")
 
+    soak = sub.add_parser(
+        "soak",
+        help="10x-horizon bounded-memory run; writes BENCH_soak.json "
+        "(CI gate)",
+    )
+    soak.add_argument("--output", default="BENCH_soak.json",
+                      help="where to write the benchmark artifact")
+    soak.add_argument("--seed", type=int, default=0,
+                      help="experiment seed")
+
     bench = sub.add_parser(
         "bench",
         help="microbenchmarks; `bench kernel` writes BENCH_kernel.json, "
@@ -370,6 +387,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "smoke":
         return _cmd_smoke(args)
+    if args.command == "soak":
+        return _cmd_soak(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "explore":

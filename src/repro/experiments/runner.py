@@ -121,6 +121,10 @@ class RunResult:
     instance_changes: int = 0
     view_changes: int = 0
     events: int = 0  # simulator queue items dispatched over the run
+    #: peak per-instance protocol-log size, populated only when the
+    #: scenario ran with ``track_log_sizes=True`` (see docs/simulator.md,
+    #: "Memory model & garbage collection").
+    peak_log_size: int = 0
 
 
 def make_deployment(
@@ -559,15 +563,14 @@ def unfair_primary_run(
     counters = {victim.name: 0, other.name: 0}
 
     for client in (victim, other):
-        recorder = client.latencies
 
-        def record(latency, _client=client):
+        def record(latency, _client=client, _recorder=client.latencies):
             counters[_client.name] += 1
             series[_client.name].append(counters[_client.name], latency)
-            recorder.samples.append(latency)
+            _recorder.record(latency)
 
         # Re-route the latency recording to also keep per-request order.
-        client.latencies = type(recorder)()
+        client.latencies = type(client.latencies)()
         client.latencies.record = record  # type: ignore[method-assign]
 
     sim = deployment.sim

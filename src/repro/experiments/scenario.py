@@ -65,6 +65,11 @@ class Scenario:
     #: (dynamic loads always measure the whole run, as in §VI-A).
     duration: Optional[float] = None
     warmup: Optional[float] = None
+    #: attach a ``pbft.log-size`` gauge watch and report the peak
+    #: per-instance protocol-log size in ``RunResult.peak_log_size``
+    #: (the soak harness's bounded-memory assertion).  Tracing stays
+    #: off — and the result byte-identical — when False.
+    track_log_sizes: bool = False
 
     def __post_init__(self):
         if self.load not in _LOADS:
@@ -131,6 +136,19 @@ def run(scenario: Scenario):
         seed=scenario.seed, exec_cost=scenario.exec_cost,
         n_clients=n_clients, link=scenario.link,
     )
+    watch = None
+    if scenario.track_log_sizes:
+        from repro.trace import Tracer
+        from repro.trace.events import K_LOG_SIZE
+        from repro.trace.gauge import LogSizeWatch
+
+        # Source-filtered to the gauge kind: emissions never schedule
+        # simulator events, so the run's dispatch sequence — and with it
+        # every seeded result — is unchanged by watching.
+        watch = LogSizeWatch()
+        deployment.sim.tracer = Tracer(
+            sink=watch, kinds=frozenset({K_LOG_SIZE})
+        )
     send_kwargs = {}
     faulty_nodes = None
     attack_name = _attack_for(scenario.protocol, scenario.attack)
@@ -153,4 +171,9 @@ def run(scenario: Scenario):
     result.protocol = scenario.protocol
     result.payload = scenario.payload
     result.offered_rate = offered
+    if watch is not None:
+        from repro.trace.gauge import collect_final
+
+        collect_final(watch, deployment.nodes)
+        result.peak_log_size = watch.peak("total")
     return result

@@ -1,0 +1,147 @@
+"""The bounded-memory soak gate: ``python -m repro.experiments soak``.
+
+Runs one fault-free RBFT scenario for **ten times** the smoke horizon
+with the ``pbft.log-size`` gauge attached
+(:attr:`~repro.experiments.scenario.Scenario.track_log_sizes`) and
+asserts that the peak per-instance protocol-log size stays below the
+checkpoint garbage collector's analytical bound.
+
+A correct collector keeps every per-sequence structure inside the
+sliding admission window: at most ``watermark_window`` live sequence
+numbers plus up to ``checkpoint_interval`` entries that ordered after
+the last stable checkpoint but have not yet been collected.  With the
+defaults (1024 + 128 = 1152) that bound is independent of the horizon —
+a leak anywhere in the batch/prepare/commit/checkpoint/view-change
+bookkeeping grows the peak with the number of ordered batches instead
+(several thousand over this horizon) and trips the gate immediately.
+
+The throughput floor is a liveness cross-check: a "pass" produced by a
+stalled run that never filled its logs would be meaningless.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+from repro.protocols.pbft.engine import InstanceConfig
+
+from .scale import SMOKE, ScenarioScale
+from .scenario import Scenario, run
+
+__all__ = ["SOAK_BOUNDS", "run_soak", "check_soak", "write_soak"]
+
+#: soak horizon as a multiple of the scale's smoke duration.
+HORIZON_FACTOR = 10.0
+
+#: fixed offered load (requests/second), deliberately below fault-free
+#: RBFT capacity (~19 kreq/s at 8-byte requests) so the client-side
+#: pending backlog stays bounded and the gate measures *protocol* state.
+SOAK_RATE = 16_000.0
+
+_DEFAULTS = InstanceConfig()
+
+#: sanity envelope for the soak numbers; violating any entry fails CI.
+SOAK_BOUNDS: Dict[str, float] = {
+    # the collector's analytical bound on per-instance log entries:
+    # watermark_window live sequences + one checkpoint_interval of
+    # not-yet-collected ones.  Horizon-independent by construction.
+    "max_peak_log_size": float(
+        _DEFAULTS.watermark_window + _DEFAULTS.checkpoint_interval
+    ),
+    # liveness floor: the run must actually order requests at rate.
+    "min_throughput_rps": 5_000.0,
+}
+
+
+def run_soak(
+    scale: Optional[ScenarioScale] = None,
+    seed: int = 0,
+) -> dict:
+    """Execute the soak scenario and return the benchmark record."""
+    scale = scale or SMOKE
+    duration = HORIZON_FACTOR * scale.duration
+    t0 = time.perf_counter()
+    result = run(Scenario(
+        protocol="rbft",
+        payload=8,
+        rate=SOAK_RATE,
+        seed=seed,
+        scale=scale,
+        duration=duration,
+        track_log_sizes=True,
+    ))
+    wall = time.perf_counter() - t0
+    return {
+        "schema": "rbft-bench-soak/1",
+        "scale": scale.name,
+        "seed": seed,
+        "wall_clock_s": round(wall, 3),
+        "soak": {
+            "protocol": "rbft",
+            "payload": 8,
+            "offered_rps": round(result.offered_rate, 1),
+            "duration_s": duration,
+            "horizon_factor": HORIZON_FACTOR,
+            "throughput_rps": round(result.executed_rate, 1),
+            "mean_latency_s": round(result.mean_latency, 6),
+            "peak_log_size": result.peak_log_size,
+            "watermark_window": _DEFAULTS.watermark_window,
+            "checkpoint_interval": _DEFAULTS.checkpoint_interval,
+        },
+        "bounds": dict(SOAK_BOUNDS),
+    }
+
+
+def check_soak(record: dict) -> List[str]:
+    """Return the list of bound violations (empty = gate passes)."""
+    bounds = record.get("bounds", SOAK_BOUNDS)
+    soak = record["soak"]
+    violations = []
+    if soak["peak_log_size"] > bounds["max_peak_log_size"]:
+        violations.append(
+            "peak protocol-log size %d above bound %d "
+            "(watermark_window + checkpoint_interval) — per-sequence "
+            "state is leaking past stable checkpoints" % (
+                soak["peak_log_size"], int(bounds["max_peak_log_size"]),
+            )
+        )
+    if soak["throughput_rps"] < bounds["min_throughput_rps"]:
+        violations.append(
+            "soak throughput %.0f req/s below floor %.0f — the bounded "
+            "peak is meaningless on a stalled run" % (
+                soak["throughput_rps"], bounds["min_throughput_rps"],
+            )
+        )
+    return violations
+
+
+def write_soak(
+    output: str = "BENCH_soak.json",
+    scale: Optional[ScenarioScale] = None,
+    seed: int = 0,
+) -> int:
+    """Run, write the artifact, print a summary; non-zero on violation."""
+    record = run_soak(scale=scale, seed=seed)
+    violations = check_soak(record)
+    record["violations"] = violations
+    with open(output, "w", encoding="utf-8") as fileobj:
+        json.dump(record, fileobj, indent=2, sort_keys=True)
+        fileobj.write("\n")
+    soak = record["soak"]
+    print(
+        "soak: %.1fs horizon | %.0f req/s | peak log %d (bound %d) | "
+        "wall %.1fs -> %s"
+        % (
+            soak["duration_s"],
+            soak["throughput_rps"],
+            soak["peak_log_size"],
+            int(record["bounds"]["max_peak_log_size"]),
+            record["wall_clock_s"],
+            output,
+        )
+    )
+    for violation in violations:
+        print("BOUND VIOLATION: %s" % violation)
+    return 1 if violations else 0

@@ -9,7 +9,8 @@ instance — the ``nbreqs_i`` of §IV-C — and per-client latency averages).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.engine import Simulator
 
@@ -75,16 +76,33 @@ class ThroughputMeter:
 
 
 class LatencyRecorder:
-    """Stores individual latencies; reports mean / percentiles."""
+    """Streaming mean plus a bounded sample window for percentiles.
 
-    def __init__(self) -> None:
-        self.samples: List[float] = []
+    The mean is exact over *every* recorded sample (a running
+    count/total, accumulated in arrival order exactly as ``sum()`` over
+    the full list would); percentiles are computed over the most recent
+    ``window`` samples, so memory stays constant however long the run.
+    Any run that completes fewer than ``window`` requests per client —
+    all the short-horizon seeds — sees byte-identical percentiles too.
+    """
+
+    DEFAULT_WINDOW = 65536
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.samples: Deque[float] = deque(maxlen=window)
+        self.count = 0
+        self.total = 0.0
 
     def record(self, latency: float) -> None:
         self.samples.append(latency)
+        self.count += 1
+        self.total += latency
 
     def mean(self) -> float:
-        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+        return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
         if not self.samples:
@@ -104,15 +122,21 @@ class LatencyRecorder:
         return self.percentile(0.5)
 
     def __len__(self) -> int:
-        return len(self.samples)
+        """Samples ever recorded (not just the retained window)."""
+        return self.count
 
 
 class TimeSeries:
-    """(time, value) pairs, e.g. per-request latency traces (Fig. 12)."""
+    """(time, value) pairs, e.g. per-request latency traces (Fig. 12).
 
-    def __init__(self, name: str = ""):
+    ``maxlen`` optionally bounds retention to the most recent points
+    (long-horizon gauges); figure series keep the default — unbounded —
+    because the plots need the full history.
+    """
+
+    def __init__(self, name: str = "", maxlen: Optional[int] = None):
         self.name = name
-        self.points: List[Tuple[float, float]] = []
+        self.points: Deque[Tuple[float, float]] = deque(maxlen=maxlen)
 
     def append(self, time: float, value: float) -> None:
         self.points.append((time, value))

@@ -214,5 +214,11 @@ class BftNode:
     def is_primary(self) -> bool:
         return self.engine.is_primary
 
+    def log_sizes(self) -> Dict[str, int]:
+        """The engine's protocol-log sizes plus the replay-dedup set."""
+        sizes = dict(self.engine.log_sizes())
+        sizes["executed_ids"] = len(self.executed_ids)
+        return sizes
+
     def __repr__(self) -> str:
         return "%s(%s, view=%d)" % (type(self).__name__, self.name, self.engine.view)

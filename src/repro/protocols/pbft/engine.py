@@ -379,7 +379,15 @@ class OrderingInstance:
             or msg.sender == self.replica
         ):
             return
-        if not (self.low_watermark < msg.seq <= self.low_watermark + self.config.watermark_window):
+        floor = self.low_watermark
+        if self.next_exec - 1 > floor:
+            # After a weak-checkpoint state transfer (``_catch_up``) the
+            # execution frontier can sit above ``low_watermark + 1``; a
+            # pre-prepare for an already-executed sequence number below it
+            # must not re-enter the log (it would never drain and would
+            # trigger redundant PREPARE/COMMIT traffic).
+            floor = self.next_exec - 1
+        if not (floor < msg.seq <= self.low_watermark + self.config.watermark_window):
             return
         existing = self.log.get(msg.seq)
         if existing is not None and (existing.committed or existing.view >= msg.view):
@@ -517,6 +525,13 @@ class OrderingInstance:
                 self._stabilize(seq)
 
     def _on_checkpoint(self, msg: Checkpoint) -> None:
+        if msg.seq <= self.low_watermark:
+            # Already stable: a completed quorum here would only reach a
+            # no-op ``_stabilize``, and the weak-certificate catch-up
+            # needs ``seq >= next_exec + checkpoint_interval`` which a
+            # sub-watermark sequence can never satisfy.  Dropping the
+            # vote keeps stragglers from re-seeding pruned tracker keys.
+            return
         key = (msg.seq, msg.digest)
         if self._checkpoint_votes.add(key, msg.sender):
             self._stabilize(msg.seq)
@@ -548,6 +563,8 @@ class OrderingInstance:
             entry = self.log.pop(old_seq)
             self._prepare_votes.discard((entry.view, old_seq, entry.digest))
             self._commit_votes.discard((entry.view, old_seq, entry.digest))
+            for item in entry.items:
+                self._ordered_ids.discard(item.request_id)
         self._drain_ordered()
 
     def _stabilize(self, seq: int) -> None:
@@ -568,6 +585,36 @@ class OrderingInstance:
             entry = self.log.pop(old_seq)
             self._prepare_votes.discard((entry.view, old_seq, entry.digest))
             self._commit_votes.discard((entry.view, old_seq, entry.digest))
+            for item in entry.items:
+                self._ordered_ids.discard(item.request_id)
+        self._collect_garbage(seq)
+
+    def _collect_garbage(self, seq: int) -> None:
+        """Drop every piece of per-sequence state at or below the stable
+        checkpoint ``seq`` (PBFT's log garbage collection, OSDI '99 §4.3).
+
+        The popped log entries above only remove votes matching the
+        entry's own (view, digest); orphaned vote keys — conflicting
+        digests, superseded views, sequences this replica never logged —
+        would otherwise accumulate forever.  View-change votes for views
+        at or below the current one are unreadable (every read path
+        requires ``new_view > self.view``) and are dropped too.
+        """
+        self._prepare_votes.prune(lambda key: key[1] <= seq)
+        self._commit_votes.prune(lambda key: key[1] <= seq)
+        self._checkpoint_votes.prune(lambda key: key[0] <= seq)
+        for stale in [v for v in self._vc_votes if v <= self.view]:
+            del self._vc_votes[stale]
+        if self._waiting_guard:
+            self._waiting_guard = [
+                msg for msg in self._waiting_guard if msg.seq > seq
+            ]
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                self.sim.now, "pbft.log-size", self._trace_name,
+                **self.log_sizes(),
+            )
 
     # ---------------------------------------------------------- view change
     def start_view_change(self, new_view: Optional[int] = None) -> None:
@@ -742,6 +789,12 @@ class OrderingInstance:
         new_view = self.view + 1
         self.view = new_view
         self._vc_voted_for = max(self._vc_voted_for, new_view)
+        if self._vc_votes:
+            # Views roll over every batch here, so merge votes for
+            # superseded views would pile up fast; same dead-state rule
+            # as ``_install_view``.
+            for stale in [v for v in self._vc_votes if v <= new_view]:
+                del self._vc_votes[stale]
         if self.is_primary:
             self._become_primary()
         else:
@@ -753,6 +806,38 @@ class OrderingInstance:
     def backlog(self) -> int:
         """Verified-but-unordered requests at this replica."""
         return len(self.pending)
+
+    def log_sizes(self) -> Dict[str, int]:
+        """Sizes of every per-sequence structure, plus their sum (``total``).
+
+        ``total`` is the "protocol log" the checkpoint garbage collector
+        bounds: everything indexed by sequence number or view.  ``pending``
+        (offered-load backlog) and ``ordered_ids`` (bounded by
+        ``watermark_window * batch_size`` once GC runs) are reported
+        alongside but excluded from ``total`` — they scale with load and
+        batch size, not with the horizon.
+        """
+        total = (
+            len(self.log)
+            + len(self._prepare_votes)
+            + len(self._commit_votes)
+            + len(self._checkpoint_votes)
+            + len(self._vc_votes)
+            + len(self._waiting_guard)
+            + len(self._future)
+        )
+        return {
+            "total": total,
+            "log": len(self.log),
+            "prepare_votes": len(self._prepare_votes),
+            "commit_votes": len(self._commit_votes),
+            "checkpoint_votes": len(self._checkpoint_votes),
+            "vc_votes": len(self._vc_votes),
+            "waiting_guard": len(self._waiting_guard),
+            "future": len(self._future),
+            "pending": len(self.pending),
+            "ordered_ids": len(self._ordered_ids),
+        }
 
     def __repr__(self) -> str:
         return "OrderingInstance(%s/i%d, view=%d, next=%d)" % (

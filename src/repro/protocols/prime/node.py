@@ -215,6 +215,10 @@ class PrimeNode:
 
     def _on_po_request(self, msg: PoRequest) -> None:
         key = (msg.sender, msg.bundle_id)
+        # Bundles at or below the covered frontier were executed and
+        # garbage-collected; a late duplicate must not re-enter the store.
+        if msg.bundle_id <= self.covered.get(msg.sender, 0):
+            return
         if key in self.bundles:
             return
         self.bundles[key] = msg.requests
@@ -314,7 +318,7 @@ class PrimeNode:
         if msg.view != self.view or msg.sender != self.primary_name(msg.view):
             return
         self._last_order_seen = self.sim.now
-        if msg.seq in self._order_log:
+        if msg.seq < self._next_order_exec or msg.seq in self._order_log:
             return
         self._order_log[msg.seq] = msg
         self._try_echo(msg)
@@ -396,12 +400,44 @@ class PrimeNode:
 
     # -------------------------------------------------------------- execute
     def _try_execute(self) -> None:
+        progressed = False
         while True:
             vector = self._ordered_vectors.get(self._next_order_exec)
             if vector is None or not self._covers(vector):
-                return
+                break
             self._next_order_exec += 1
             self._execute_coverage(vector)
+            progressed = True
+        if progressed:
+            self._collect_garbage()
+
+    def _collect_garbage(self) -> None:
+        """Drop ordering and pre-ordering state behind the executed frontiers.
+
+        Ordering messages below ``_next_order_exec`` were executed (their
+        coverage is folded into ``covered``), and bundles at or below the
+        per-originator ``covered`` frontier can never be read again: the
+        coverage vectors, the ARU advance, and the capped-vector budget
+        all start strictly above it.  Late votes for pruned keys re-seed
+        a quorum at worst; completion then finds no ``_order_log`` entry
+        and sends nothing.
+        """
+        frontier = self._next_order_exec
+        for seq in [s for s in self._order_log if s < frontier]:
+            del self._order_log[seq]
+        for seq in [s for s in self._ordered_vectors if s < frontier]:
+            del self._ordered_vectors[seq]
+        self._echo_votes.prune(lambda key: key[1] < frontier)
+        self._ready_votes.prune(lambda key: key[1] < frontier)
+        self._echoed = {key for key in self._echoed if key[1] >= frontier}
+        self._readied = {key for key in self._readied if key[1] >= frontier}
+        covered = self.covered
+        self.bundles = {
+            key: requests
+            for key, requests in self.bundles.items()
+            if key[1] > covered.get(key[0], 0)
+        }
+        self._ack_votes.prune(lambda key: key[1] <= covered.get(key[0], 0))
 
     def _execute_coverage(self, vector: Dict[str, int]) -> None:
         batch_cost = 0.0
@@ -476,6 +512,12 @@ class PrimeNode:
 
     def _suspect_tick(self) -> None:
         self.sim.call_after(self.config.suspect_check_period, self._suspect_tick)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                self.sim.now, "pbft.log-size", self.name,
+                **self.log_sizes(),
+            )
         if self.silent:
             return
         self._rescue_orphans()
@@ -529,6 +571,45 @@ class PrimeNode:
         self._ordered_vectors.clear()
         self.seq = 0
         self._next_order_exec = 1
+        # Echo/ready/suspect votes for superseded views are dead state:
+        # every handler rejects messages whose view is not the current one.
+        self._echo_votes.prune(lambda key: key[0] < new_view)
+        self._ready_votes.prune(lambda key: key[0] < new_view)
+        self._echoed = {key for key in self._echoed if key[0] >= new_view}
+        self._readied = {key for key in self._readied if key[0] >= new_view}
+        self._suspect_votes.prune(lambda view: view < new_view)
+
+    def log_sizes(self) -> Dict[str, int]:
+        """Sizes of the pre-ordering and ordering stores (``total`` = sum).
+
+        ``executed_ids`` (the replay-dedup set) and the monitoring
+        estimators are excluded from ``total``: the former is durable
+        service state, the latter are O(1).
+        """
+        total = (
+            len(self.bundles)
+            + len(self._ack_votes)
+            + len(self._order_log)
+            + len(self._ordered_vectors)
+            + len(self._echo_votes)
+            + len(self._ready_votes)
+            + len(self._echoed)
+            + len(self._readied)
+            + len(self._held_orders)
+            + len(self._orphan_watch)
+        )
+        return {
+            "total": total,
+            "bundles": len(self.bundles),
+            "ack_votes": len(self._ack_votes),
+            "order_log": len(self._order_log),
+            "ordered_vectors": len(self._ordered_vectors),
+            "echo_votes": len(self._echo_votes),
+            "ready_votes": len(self._ready_votes),
+            "held_orders": len(self._held_orders),
+            "orphan_watch": len(self._orphan_watch),
+            "executed_ids": len(self.executed_ids),
+        }
 
     def __repr__(self) -> str:
         return "PrimeNode(%s, view=%d, executed=%d)" % (

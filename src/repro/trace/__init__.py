@@ -25,6 +25,7 @@ from .events import (
     K_CORE_JOB,
     K_IC_VOTE,
     K_INSTANCE_CHANGE,
+    K_LOG_SIZE,
     K_MONITOR_TICK,
     K_MONITOR_TRIGGER,
     K_NIC_DROP,
@@ -37,6 +38,7 @@ from .events import (
     K_VIEW_CHANGE,
     TraceEvent,
 )
+from .gauge import LogSizeWatch, collect_final
 from .profile import (
     CoreProfile,
     build_core_profiles,
@@ -61,6 +63,8 @@ __all__ = [
     "JsonlStreamSink",
     "export_jsonl",
     "load_jsonl",
+    "LogSizeWatch",
+    "collect_final",
     "CoreProfile",
     "build_core_profiles",
     "utilization_timeline",
@@ -81,4 +85,5 @@ __all__ = [
     "K_PHASE",
     "K_VIEW_CHANGE",
     "K_STATE_TRANSFER",
+    "K_LOG_SIZE",
 ]

@@ -37,6 +37,7 @@ __all__ = [
     "K_PHASE",
     "K_VIEW_CHANGE",
     "K_STATE_TRANSFER",
+    "K_LOG_SIZE",
 ]
 
 #: the sim kernel dispatched one queued callback/event
@@ -69,6 +70,10 @@ K_PHASE = "pbft.phase"
 K_VIEW_CHANGE = "pbft.view-change"
 #: a replica fast-forwarded past garbage-collected batches (fields: from, to)
 K_STATE_TRANSFER = "pbft.state-transfer"
+#: protocol-log size gauge after checkpoint garbage collection
+#: (fields: total plus one count per structure; see
+#: ``OrderingInstance.log_sizes`` / ``RBFTNode.log_sizes``)
+K_LOG_SIZE = "pbft.log-size"
 
 
 class TraceEvent:

@@ -32,8 +32,12 @@ def test_request_ready_needs_f_plus_one_propagates():
     msg = PropagateMsg("node1", request, MacAuthenticator("node1"))
     node.on_network_message(msg)
     dep.sim.run(until=0.05)
-    # One PROPAGATE (plus our own echo once verified) reaches f+1 = 2.
-    assert request.request_id in node.ready_ids
+    # One PROPAGATE (plus our own echo once verified) reaches f+1 = 2:
+    # the request becomes ready, orders, and executes — at which point
+    # checkpoint GC drops the ready-set memo and only the durable
+    # executed_ids anchor remains.
+    assert request.request_id in node.executed_ids
+    assert request.request_id not in node.ready_ids  # pruned post-exec
 
 
 def test_propagate_from_single_faulty_node_is_not_enough_alone():

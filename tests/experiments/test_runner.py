@@ -3,10 +3,11 @@
 import pytest
 
 from repro.experiments import (
+    Scenario,
     ScenarioScale,
     current_scale,
     make_deployment,
-    run_static,
+    run,
 )
 from repro.experiments.runner import _attack_for, _capacity_cache, probe_capacity
 
@@ -80,8 +81,8 @@ def test_probe_capacity_key_includes_seed():
     assert probe_capacity("pbft", 8, FAST, seed=0) != 123.0
 
 
-def test_run_static_returns_populated_result():
-    result = run_static("pbft", 8, rate=2000.0, scale=FAST)
+def test_static_scenario_returns_populated_result():
+    result = run(Scenario(protocol="pbft", rate=2000.0, scale=FAST))
     assert result.protocol == "pbft"
     assert result.payload == 8
     assert result.offered_rate == 2000.0
@@ -90,11 +91,12 @@ def test_run_static_returns_populated_result():
     assert result.mean_latency > 0
 
 
-def test_run_dynamic_reports_true_offered_rate():
+def test_dynamic_scenario_reports_true_offered_rate():
     from repro.clients import dynamic_profile
-    from repro.experiments import run_dynamic
 
-    result = run_dynamic("pbft", 8, per_client_rate=500.0, scale=FAST)
+    result = run(Scenario(
+        protocol="pbft", load="dynamic", rate=500.0, scale=FAST,
+    ))
     profile = dynamic_profile(500.0, FAST.duration, spike_clients=50)
     # The spike profile averages ~15.3 active clients, not 10: the
     # reported offered rate is the profile's true time average.

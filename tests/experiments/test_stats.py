@@ -21,7 +21,7 @@ def test_sweep_summary_statistics():
 
 
 def test_sweep_over_real_runs_is_reproducible():
-    from repro.experiments import ScenarioScale, run_static
+    from repro.experiments import Scenario, ScenarioScale, run
 
     scale = ScenarioScale(
         name="t", duration=0.15, warmup=0.05, probe_duration=0.1,
@@ -30,7 +30,9 @@ def test_sweep_over_real_runs_is_reproducible():
     )
 
     def measure(seed):
-        return run_static("pbft", 8, rate=2000.0, scale=scale, seed=seed).executed_rate
+        return run(Scenario(
+            protocol="pbft", rate=2000.0, scale=scale, seed=seed,
+        )).executed_rate
 
     first = seed_sweep(measure, seeds=(0, 1))
     second = seed_sweep(measure, seeds=(0, 1))

@@ -1,0 +1,163 @@
+"""Checkpoint garbage collection keeps protocol logs bounded.
+
+The property under test (the soak gate's analytical bound, scaled down
+so a short run orders many multiples of it): with checkpoint GC running,
+no per-sequence structure ever holds more than
+``watermark_window + checkpoint_interval`` entries, no matter how many
+batches the run orders.  Without GC every structure grows with the
+number of ordered sequences instead, so a run ordering ~250 sequences
+against a bound of 40 fails loudly on any leak.
+"""
+
+import pytest
+
+from repro.clients import LoadGenerator, static_profile
+from repro.core import RBFTConfig
+from repro.crypto import MacAuthenticator
+from repro.crypto.primitives import Digest
+from repro.experiments import (
+    build_aardvark,
+    build_pbft,
+    build_prime,
+    build_rbft,
+    build_spinning,
+)
+from repro.protocols.aardvark import AardvarkConfig
+from repro.protocols.base import NodeConfig
+from repro.protocols.pbft.engine import InstanceConfig
+from repro.protocols.pbft.messages import PrePrepare
+from repro.protocols.spinning import SpinningConfig
+from repro.trace import K_LOG_SIZE, LogSizeWatch, Tracer, collect_final
+from tests.protocols.test_engine_unit import make_group, request, submit_all
+
+#: tiny windows so ~250 ordered sequences dwarf the bound.
+INTERVAL = 8
+WINDOW = 32
+BOUND = WINDOW + INTERVAL
+
+#: structures the bound covers (each indexed by sequence number or view).
+BOUNDED_FIELDS = (
+    "log",
+    "prepare_votes",
+    "commit_votes",
+    "checkpoint_votes",
+    "vc_votes",
+    "waiting_guard",
+)
+
+
+def _small_instance(**overrides):
+    return InstanceConfig(
+        f=1, batch_size=4, checkpoint_interval=INTERVAL,
+        watermark_window=WINDOW, **overrides,
+    )
+
+
+def _deployment(protocol):
+    if protocol == "rbft":
+        return build_rbft(RBFTConfig(
+            batch_size=4, checkpoint_interval=INTERVAL,
+            watermark_window=WINDOW,
+        ), n_clients=6)
+    if protocol == "aardvark":
+        return build_aardvark(
+            AardvarkConfig(instance=_small_instance()), n_clients=6
+        )
+    if protocol == "spinning":
+        return build_spinning(SpinningConfig(instance=_small_instance(
+            auto_advance_view=True, multicast_auth=True,
+        )), n_clients=6)
+    return build_pbft(NodeConfig(instance=_small_instance()), n_clients=6)
+
+
+def _run_watched(dep, rate=2000.0, duration=0.5):
+    watch = LogSizeWatch()
+    dep.sim.tracer = Tracer(sink=watch, kinds=frozenset({K_LOG_SIZE}))
+    generator = LoadGenerator(
+        dep.sim, dep.clients, static_profile(rate, duration),
+        dep.rng.stream("load"),
+    )
+    generator.start()
+    dep.sim.run(until=duration + 0.3)
+    collect_final(watch, dep.nodes)
+    return watch, generator
+
+
+@pytest.mark.parametrize("protocol", ["rbft", "aardvark", "spinning", "pbft"])
+def test_per_sequence_structures_stay_bounded(protocol):
+    dep = _deployment(protocol)
+    watch, generator = _run_watched(dep)
+    assert generator.total_completed() > 200  # the run genuinely ordered
+    assert watch.observed > 0  # the gauge genuinely fired
+    for emitter, peaks in watch.peaks.items():
+        for field in BOUNDED_FIELDS:
+            assert peaks.get(field, 0) <= BOUND, (
+                "%s: %s peaked at %d > %d (watermark_window + "
+                "checkpoint_interval) — per-sequence state is leaking"
+                % (emitter, field, peaks.get(field, 0), BOUND)
+            )
+
+
+def test_prime_log_peak_is_horizon_independent():
+    # Prime has no PBFT watermarks; its collector is bounded by the
+    # pre-ordering frontiers instead.  Doubling the horizon must not
+    # move the peak: a leak scales it with the number of ordered
+    # batches, roughly doubling it here.
+    peaks = {}
+    for duration in (0.3, 0.6):
+        dep = build_prime(n_clients=6)
+        watch, generator = _run_watched(dep, rate=1500.0, duration=duration)
+        assert generator.total_completed() > 0
+        peaks[duration] = watch.peak("total")
+    assert peaks[0.6] <= 1.5 * peaks[0.3] + 25
+
+
+def test_stabilize_discards_checkpoint_and_viewchange_votes():
+    # Satellite of the GC change: QuorumTracker.discard/prune must leave
+    # no checkpoint votes at or below the stable low watermark and no
+    # view-change votes for unreachable (<= current) views.
+    sim, fabric, engines, ordered = make_group(checkpoint_interval=4)
+    submit_all(engines, [request(i) for i in range(64)])
+    sim.run(until=0.5)
+    for engine in engines:
+        assert engine.low_watermark >= 12
+        retained = (
+            engine._checkpoint_votes._senders.keys()
+            | engine._checkpoint_votes._complete
+        )
+        assert all(seq > engine.low_watermark for seq, _ in retained)
+        assert all(view > engine.view for view in engine._vc_votes)
+
+
+def test_admission_floor_follows_weak_checkpoint_fast_forward():
+    # Regression pin for the admission window: after a weak-checkpoint
+    # state transfer the execution frontier sits *above*
+    # ``low_watermark + 1``, so the accept interval is
+    # ``max(low_watermark, next_exec - 1) < seq <= low_watermark +
+    # watermark_window`` — a pre-prepare for an already-executed
+    # sequence below the frontier must not re-enter the log.
+    sim, fabric, engines, _ = make_group(
+        checkpoint_interval=4, watermark_window=16
+    )
+    backup = engines[1]
+    backup._catch_up(8)  # weak certificate: state-transfer to seq 8
+    assert backup.next_exec == 9
+    assert backup.low_watermark == 0  # no stable checkpoint yet
+
+    def preprepare(seq):
+        return PrePrepare(
+            "node0", 0, 0, seq, (request(seq),), Digest("d%d" % seq), 100,
+            MacAuthenticator("node0"),
+        )
+
+    for seq in (5, 8):  # at or below the executed frontier: rejected
+        backup.receive(preprepare(seq))
+    for seq in (9, 16):  # inside the window: admitted
+        backup.receive(preprepare(seq))
+    backup.receive(preprepare(17))  # beyond low_watermark + window
+    sim.run(until=0.05)
+    assert 5 not in backup.log
+    assert 8 not in backup.log
+    assert 9 in backup.log
+    assert 16 in backup.log
+    assert 17 not in backup.log

@@ -52,6 +52,9 @@ EXPERIMENTS_API = [
     "run_smoke",
     "check_bounds",
     "write_smoke",
+    "run_soak",
+    "check_soak",
+    "write_soak",
     "run_kernel_bench",
     "check_regression",
     "write_kernel_bench",
