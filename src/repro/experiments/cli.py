@@ -22,6 +22,22 @@ Sweeps fan out across worker processes: ``--jobs N`` (or the
 ``REPRO_JOBS`` environment variable) sets the worker count, default
 ``cpu_count() - 1``; ``--jobs 1`` forces the serial path.  Parallel and
 serial sweeps produce identical numbers.
+
+Verification commands (see ``docs/testing.md``)::
+
+    python -m repro.experiments explore --episodes 20 --seed 0 --check
+    python -m repro.experiments explore --search --budget 48 --seed 0 \\
+        --strategy both --protocol rbft --out adversary --check
+    python -m repro.experiments check --replay benchmarks/adversary/
+
+Exit codes are distinct so a CI job log alone tells you *what* failed:
+
+* ``0`` — success;
+* ``1`` — a gate failed: an invariant violation, a replay digest
+  mismatch, or a benchmark regression (the command ran fine and is
+  reporting a genuine finding);
+* ``2`` — a usage error: unknown flags or subcommands (argparse),
+  unknown protocol/strategy names, or unreadable/malformed artifacts.
 """
 
 from __future__ import annotations
@@ -29,6 +45,11 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+#: exit codes, see the module docstring.
+EX_OK = 0
+EX_GATE = 1
+EX_USAGE = 2
 
 from .report import (
     format_attack_rows,
@@ -216,6 +237,8 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_explore(args) -> int:
+    if args.search:
+        return _cmd_search(args)
     from repro.verify import explore
 
     report = explore(
@@ -241,29 +264,128 @@ def _cmd_explore(args) -> int:
     if report.artifacts:
         print("wrote %d artifacts under %s" % (len(report.artifacts), args.out))
     if args.check and not report.ok:
-        return 1
-    return 0
+        return EX_GATE
+    return EX_OK
+
+
+def _format_plan(plan) -> str:
+    return ", ".join(
+        "%s(%s)" % (
+            spec.kind,
+            ", ".join("%s=%s" % kv for kv in sorted(spec.params.items())),
+        )
+        for spec in plan
+    ) or "(no faults)"
+
+
+def _cmd_search(args) -> int:
+    from repro.verify import run_search
+
+    try:
+        report = run_search(
+            master_seed=args.seed,
+            budget=args.budget,
+            strategy=args.strategy,
+            protocol=args.protocol,
+            jobs=args.jobs,
+            out_dir=args.out,
+            duration=args.duration,
+            rate=args.rate,
+        )
+    except ValueError as exc:
+        # Unknown strategy/protocol names are usage errors, not findings.
+        print("explore --search: %s" % exc, file=sys.stderr)
+        return EX_USAGE
+    print("adversary search: protocol=%s seed=%d budget=%d strategies=%s"
+          % (report.protocol, report.master_seed, report.budget,
+             ",".join(report.strategies)))
+    print("baseline: %d completed (%.1f req/s, mean latency %.2f ms)"
+          % (report.baseline.completed, report.baseline.throughput,
+             report.baseline.mean_latency * 1e3))
+    for name, entry in sorted(report.scripted.items()):
+        print("scripted %-12s reward=%.4f degradation=%.2f%% latency x%.2f"
+              % (name, entry.reward, 100 * entry.degradation,
+                 entry.latency_ratio))
+    for rank, entry in enumerate(report.entries, start=1):
+        print("#%d [%s] reward=%.4f degradation=%.2f%% latency x%.2f  %s"
+              % (rank, entry.strategy, entry.reward,
+                 100 * entry.degradation, entry.latency_ratio,
+                 _format_plan(entry.plan)))
+    best = report.best
+    if best is not None:
+        verdict = "beats" if report.beats_scripted else "DOES NOT beat"
+        print("best discovered attack %s the scripted worst1/worst2 bar "
+              "(%.4f vs %.4f)" % (verdict, best.reward, report.scripted_bar))
+    for spec, result in report.counterexamples:
+        print("counterexample: plan=[%s] violates %s"
+              % (_format_plan(spec.plan), ", ".join(sorted(result.violated()))))
+    if report.artifacts:
+        print("wrote %d artifacts under %s" % (len(report.artifacts), args.out))
+    if args.check and not report.ok:
+        return EX_GATE
+    return EX_OK
+
+
+def _replay_paths(arguments: List[str]) -> List[str]:
+    """Expand directories into their episode artifacts, keep files as-is."""
+    import json
+    import os
+
+    paths: List[str] = []
+    for argument in arguments:
+        if os.path.isdir(argument):
+            found = []
+            for name in sorted(os.listdir(argument)):
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(argument, name)
+                try:
+                    with open(path, "r", encoding="utf-8") as fileobj:
+                        record = json.load(fileobj)
+                except (OSError, ValueError) as exc:
+                    raise ValueError("unreadable artifact %s: %s" % (path, exc))
+                if isinstance(record, dict) and "spec" in record:
+                    found.append(path)
+            if not found:
+                raise ValueError("no episode artifacts under %s" % argument)
+            paths.extend(found)
+        else:
+            paths.append(argument)
+    return paths
 
 
 def _cmd_check(args) -> int:
     from repro.verify import check_replay
 
-    if not args.replay:
-        print("check: --replay <episode.json> is required", file=sys.stderr)
-        return 2
-    verdict = check_replay(args.replay)
-    print("replay %s" % verdict["path"])
-    print("  digest   %s" % verdict["digest"])
-    print("  recorded %s" % verdict["recorded_digest"])
-    print("  violations: %s (recorded: %s)" % (
-        ", ".join(verdict["violations"]) or "none",
-        ", ".join(verdict["recorded_violations"]) or "none",
-    ))
-    if not verdict["match"]:
-        print("  MISMATCH: the replay diverged from the recorded episode")
-        return 1
-    print("  byte-identical replay")
-    return 0
+    try:
+        paths = _replay_paths(args.replay)
+    except ValueError as exc:
+        print("check: %s" % exc, file=sys.stderr)
+        return EX_USAGE
+    mismatches = 0
+    for path in paths:
+        try:
+            verdict = check_replay(path)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print("check: unreadable or malformed artifact %s: %s"
+                  % (path, exc), file=sys.stderr)
+            return EX_USAGE
+        status = "ok" if verdict["match"] else "MISMATCH"
+        print("replay %-60s %s" % (verdict["path"], status))
+        print("  digest   %s" % verdict["digest"])
+        print("  recorded %s" % verdict["recorded_digest"])
+        print("  violations: %s (recorded: %s)" % (
+            ", ".join(verdict["violations"]) or "none",
+            ", ".join(verdict["recorded_violations"]) or "none",
+        ))
+        if not verdict["match"]:
+            mismatches += 1
+    if mismatches:
+        print("%d/%d replays diverged from their recorded episodes"
+              % (mismatches, len(paths)))
+        return EX_GATE
+    print("%d/%d byte-identical replays" % (len(paths), len(paths)))
+    return EX_OK
 
 
 COMMANDS = {
@@ -357,14 +479,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     explore = sub.add_parser(
         "explore",
-        help="run seeded fault-space episodes with online invariants",
+        help="run seeded fault-space episodes with online invariants, "
+        "or search the fault space adversarially (--search)",
     )
     explore.add_argument("--episodes", type=int, default=20,
                          help="number of episodes to derive and run")
     explore.add_argument("--seed", type=int, default=0,
                          help="master seed the episodes derive from")
     explore.add_argument("--out", default=None, metavar="DIR",
-                         help="write episode/counterexample JSON artifacts")
+                         help="write episode/counterexample JSON artifacts "
+                         "(with --search: LEADERBOARD.json + episodes)")
     explore.add_argument("--duration", type=float, default=1.0,
                          help="load window per episode, simulated seconds")
     explore.add_argument("--rate", type=float, default=1500.0,
@@ -374,13 +498,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "cpu_count()-1; 1 = serial)")
     explore.add_argument("--check", action="store_true",
                          help="exit 1 if any episode violates an invariant")
+    explore.add_argument("--search", action="store_true",
+                         help="adaptive adversary: maximise throughput/"
+                         "latency degradation over the fault vocabulary")
+    explore.add_argument("--budget", type=int, default=48,
+                         help="(--search) attacked-episode evaluations, "
+                         "split across strategies")
+    explore.add_argument("--strategy", default="both",
+                         help="(--search) bandit, evolve, or both")
+    explore.add_argument("--protocol", default="rbft",
+                         help="(--search) registry protocol to attack "
+                         "(RBFT family: rbft, rbft-udp, rbft-full-order)")
 
     check = sub.add_parser(
         "check",
-        help="re-run a recorded episode and compare invariant digests",
+        help="re-run recorded episodes and compare invariant digests",
     )
-    check.add_argument("--replay", required=True, metavar="PATH",
-                       help="episode or counterexample JSON artifact")
+    check.add_argument("--replay", required=True, metavar="PATH", nargs="+",
+                       help="episode/counterexample JSON artifacts, or "
+                       "directories of them (e.g. benchmarks/adversary/)")
 
     args = parser.parse_args(argv)
     if args.command == "profile":

@@ -10,10 +10,15 @@ about why Prime, Aardvark and Spinning are not actually robust.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.clients import OpenLoopClient
-from repro.experiments.deployments import Deployment
+
+# Annotation-only: a runtime import would close the cycle
+# faults -> experiments -> runner -> faults and make `import
+# repro.verify` (whose vocabulary pulls in repro.faults) order-dependent.
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.deployments import Deployment
 
 from .flooding import MAX_FLOOD_SIZE, Flooder
 from .pacing import BatchPacer

@@ -15,7 +15,11 @@ Three layers:
   episodes as pure functions of an :class:`EpisodeSpec`, batch
   exploration from a master seed with process fan-out, greedy plan
   shrinking to a minimal counterexample, and JSON replay artifacts
-  (``python -m repro.experiments check --replay <file>``).
+  (``python -m repro.experiments check --replay <file>``);
+* :mod:`repro.verify.search` — the learned adversary: seeded
+  bandit/evolutionary search over the fault vocabulary, rewarded by
+  throughput/latency degradation versus a fault-free baseline, emitting
+  a per-protocol worst-attack leaderboard (``explore --search``).
 
 See ``docs/testing.md`` for the workflow.
 """
@@ -29,7 +33,20 @@ from .explorer import (
     make_spec,
     sample_plan,
     shrink,
+    shrink_by,
     write_episode,
+)
+from .search import (
+    BanditStrategy,
+    DIMENSIONS,
+    EvolutionStrategy,
+    LeaderboardEntry,
+    SearchReport,
+    SearchStrategy,
+    STRATEGIES,
+    compute_reward,
+    resolve_strategies,
+    run_search,
 )
 from .interceptor import NetworkInterceptor, Rule
 from .invariants import (
@@ -55,7 +72,18 @@ __all__ = [
     "make_spec",
     "sample_plan",
     "shrink",
+    "shrink_by",
     "write_episode",
+    "BanditStrategy",
+    "DIMENSIONS",
+    "EvolutionStrategy",
+    "LeaderboardEntry",
+    "SearchReport",
+    "SearchStrategy",
+    "STRATEGIES",
+    "compute_reward",
+    "resolve_strategies",
+    "run_search",
     "NetworkInterceptor",
     "Rule",
     "Checker",

@@ -28,6 +28,13 @@ __all__ = ["EpisodeSpec", "EpisodeResult", "run_episode"]
 #: completions (§VI-C: ≤3 %); below this floor something is wrong.
 COMPLETION_FLOOR = 0.95
 
+#: The registry variants an episode can target.  The invariant suite and
+#: the fault vocabulary read RBFT node state (per-instance engines, the
+#: instance monitor, master promotion), so episodes are restricted to
+#: the RBFT family; all three share :func:`build_rbft` and
+#: :class:`RBFTConfig`, differing only in transport/ordering knobs.
+RBFT_FAMILY = ("rbft", "rbft-udp", "rbft-full-order")
+
 
 @dataclass(frozen=True)
 class EpisodeSpec:
@@ -45,10 +52,16 @@ class EpisodeSpec:
     monitoring_period: float = 0.1
     min_monitor_requests: int = 10
     flood_threshold: int = 32
+    protocol: str = "rbft"  # a registry name from RBFT_FAMILY
 
     def to_dict(self) -> Dict[str, Any]:
         record = asdict(self)
         record["plan"] = [spec.to_dict() for spec in self.plan]
+        # Artifact compatibility: episodes recorded before the protocol
+        # field existed carry no "protocol" key, and regenerating them
+        # must stay byte-identical — omit the default.
+        if record["protocol"] == "rbft":
+            del record["protocol"]
         return record
 
     @classmethod
@@ -84,10 +97,20 @@ class EpisodeResult:
     executed: Dict[str, int] = field(default_factory=dict)
     instance_changes: Dict[str, int] = field(default_factory=dict)
     events_seen: int = 0
+    #: mean end-to-end latency over completed requests, seconds.  Kept
+    #: out of :meth:`to_dict` (and so out of the replay artifacts): it is
+    #: derived measurement for the adversary's reward, not part of the
+    #: episode's identity.
+    mean_latency: float = 0.0
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per simulated second of the load window."""
+        return self.completed / self.spec.duration if self.spec.duration else 0.0
 
     def violated(self) -> frozenset:
         return frozenset(v["invariant"] for v in self.violations)
@@ -120,6 +143,11 @@ def run_episode(
     spec and never serialized — replay artifacts always describe the
     stock engine.
     """
+    if spec.protocol not in RBFT_FAMILY:
+        raise ValueError(
+            "episode protocol %r is not in the RBFT family %r"
+            % (spec.protocol, RBFT_FAMILY)
+        )
     config = RBFTConfig(
         f=spec.f,
         batch_size=spec.batch_size,
@@ -127,9 +155,12 @@ def run_episode(
         monitoring_period=spec.monitoring_period,
         min_monitor_requests=spec.min_monitor_requests,
         flood_threshold=spec.flood_threshold,
+        order_full_requests=(spec.protocol == "rbft-full-order"),
     )
-    deployment = protocol_registry.get("rbft").builder(
-        config, n_clients=spec.n_clients, seed=spec.seed
+    variant = protocol_registry.get(spec.protocol)
+    deployment = variant.builder(
+        config, n_clients=spec.n_clients, seed=spec.seed,
+        **dict(variant.build_kwargs)
     )
     if mutate is not None:
         mutate(deployment)
@@ -176,4 +207,5 @@ def run_episode(
         executed={n.name: n.executed_count for n in correct},
         instance_changes={n.name: n.instance_changes for n in correct},
         events_seen=suite.events_seen,
+        mean_latency=generator.mean_latency(),
     )

@@ -31,6 +31,7 @@ __all__ = [
     "make_spec",
     "explore",
     "shrink",
+    "shrink_by",
     "ExplorationReport",
     "write_episode",
     "load_episode",
@@ -89,6 +90,10 @@ def _sample_fault(rng: random.Random, duration: float) -> FaultSpec:
     raise AssertionError(kind)
 
 
+# The legacy sampler's menu is frozen: adding a kind would shift every
+# rng.choice draw and silently re-derive the 20 pinned CI episodes.
+# New vocabulary entries (``ic-trigger``) are reachable through
+# ``fault()`` and the adversarial search's action space instead.
 _SAMPLABLE = [
     "silent-replicas", "flooding-node", "throttled-master",
     "mute-propagation", "junk-clients", "rbft-worst1", "rbft-worst2",
@@ -160,18 +165,18 @@ class ExplorationReport:
         return not self.failures
 
 
-def shrink(
+def shrink_by(
     spec: EpisodeSpec,
-    target: frozenset,
+    reproduces: Callable[[EpisodeResult], bool],
     mutate: Optional[Callable] = None,
     max_runs: int = 64,
 ) -> Tuple[EpisodeSpec, EpisodeResult]:
-    """Greedily remove faults while a target violation still reproduces.
+    """Greedily remove faults while ``reproduces(result)`` still holds.
 
-    Returns the 1-minimal spec (no single further removal reproduces)
-    and its result.  ``target`` is the invariant-name set of the
-    original failure; any overlap counts as "still reproduces", so the
-    shrinker never trades the original bug for an unrelated one.
+    The generic ddmin loop under both shrinkers: :func:`shrink` keeps a
+    target invariant violation alive, the adversarial search keeps a
+    reward floor.  Returns the 1-minimal spec (no single further removal
+    reproduces) and its result.
     """
     current = spec
     result = run_episode(current, mutate=mutate)
@@ -183,13 +188,33 @@ def shrink(
             candidate = current.without_fault(index)
             candidate_result = run_episode(candidate, mutate=mutate)
             runs += 1
-            if candidate_result.violated() & target:
+            if reproduces(candidate_result):
                 current, result = candidate, candidate_result
                 progress = True
                 break
             if runs >= max_runs:
                 break
     return current, result
+
+
+def shrink(
+    spec: EpisodeSpec,
+    target: frozenset,
+    mutate: Optional[Callable] = None,
+    max_runs: int = 64,
+) -> Tuple[EpisodeSpec, EpisodeResult]:
+    """Greedily remove faults while a target violation still reproduces.
+
+    ``target`` is the invariant-name set of the original failure; any
+    overlap counts as "still reproduces", so the shrinker never trades
+    the original bug for an unrelated one.
+    """
+    return shrink_by(
+        spec,
+        lambda result: bool(result.violated() & target),
+        mutate=mutate,
+        max_runs=max_runs,
+    )
 
 
 def write_episode(result: EpisodeResult, path: str) -> str:

@@ -1,0 +1,830 @@
+"""Learned adversary: seeded search over the fault space.
+
+The PR-3 explorer samples fault plans blindly; this module *optimises*
+them.  It treats :func:`repro.verify.episode.run_episode` as an
+environment: the **action space** is the declarative fault vocabulary
+(delay/drop/duplicate/flood/crash/partition parameters plus the
+``ic-trigger`` instance-change timing), the **reward** is degradation of
+throughput/latency versus a fault-free baseline of the same episode,
+and the :class:`~repro.verify.invariants.InvariantSuite` digest is the
+safety oracle — any violating plan is a finding in its own right and is
+shrunk with the explorer's ddmin loop.
+
+Two search strategies share one ask/tell interface:
+
+* :class:`BanditStrategy` — a UCB1 multi-armed bandit over the
+  vocabulary *dimensions*; each arm owns a parameter space and the
+  bandit learns which dimensions (and pairs of dimensions) hurt the
+  protocol most;
+* :class:`EvolutionStrategy` — a mutation/crossover evolutionary loop
+  over fault-plan *genomes* (the plans themselves), with tournament
+  selection and elitism.
+
+Determinism is the contract everything else rests on: all randomness
+derives from the master seed, candidate batches fan out over
+:func:`repro.experiments.parallel.execute_tasks` and come back in ask
+order, and strategy updates happen only between batches — so the same
+seed and budget produce byte-identical leaderboard and episode
+artifacts at any ``--jobs`` value, and a run can be resumed (re-run)
+from its seed months later with identical results.
+
+Every champion is ddmin-shrunk to a 1-minimal plan (removing any single
+fault loses the damage) before it enters the leaderboard; the episode
+artifacts replay via ``python -m repro.experiments check --replay``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .episode import EpisodeResult, EpisodeSpec, run_episode
+from .explorer import _EpisodeTask, shrink, shrink_by, write_episode
+from .vocabulary import FaultSpec
+
+__all__ = [
+    "ActionContext",
+    "Dimension",
+    "DIMENSIONS",
+    "SearchStrategy",
+    "BanditStrategy",
+    "EvolutionStrategy",
+    "STRATEGIES",
+    "resolve_strategies",
+    "compute_reward",
+    "LeaderboardEntry",
+    "SearchReport",
+    "run_search",
+    "LEADERBOARD_NAME",
+    "SCRIPTED_PLANS",
+]
+
+#: leaderboard artifact filename inside the output directory.
+LEADERBOARD_NAME = "LEADERBOARD.json"
+
+#: a shrink step keeps a fault removal when the candidate retains at
+#: least this fraction of the champion's reward.
+SHRINK_KEEP = 0.95
+
+#: weight of the latency term in the reward (throughput degradation
+#: dominates; latency breaks ties between equally throttling plans).
+LATENCY_WEIGHT = 0.05
+
+#: cap on plan size — larger plans shrink back to ≤ 3 anyway and the
+#: cap keeps crossover from concatenating entire populations.
+MAX_PLAN_FAULTS = 3
+
+#: the paper's scripted §VI-C adversaries at their default parameters —
+#: the reference bar every search run is measured against.
+SCRIPTED_PLANS: Tuple[Tuple[str, Tuple[FaultSpec, ...]], ...] = (
+    ("rbft-worst1", (FaultSpec("rbft-worst1", {"flood_rate": 500.0}),)),
+    ("rbft-worst2", (FaultSpec("rbft-worst2", {"flood_rate": 500.0}),)),
+)
+
+
+# ------------------------------------------------------------ action space
+@dataclass(frozen=True)
+class ActionContext:
+    """What a dimension needs to know about the episode it attacks."""
+
+    duration: float
+    n_nodes: int
+
+
+def _shuffle(rng: random.Random, values: List) -> None:
+    # Fisher-Yates with explicit draws, stable across Python versions.
+    for i in range(len(values) - 1, 0, -1):
+        j = rng.randrange(i + 1)
+        values[i], values[j] = values[j], values[i]
+
+
+def _window(rng: random.Random, ctx: ActionContext) -> Tuple[float, float]:
+    start = round(rng.uniform(0.0, 0.6 * ctx.duration), 3)
+    return start, round(start + rng.uniform(0.2, 0.9) * ctx.duration, 3)
+
+
+def _jitter(rng: random.Random, value: float, lo: float, hi: float,
+            spread: float = 0.3) -> float:
+    """Multiplicative local move, clamped to the dimension's range."""
+    factor = 1.0 + rng.uniform(-spread, spread)
+    return min(hi, max(lo, value * factor))
+
+
+class Dimension:
+    """One arm of the action space: a fault kind plus parameter ranges.
+
+    ``sample`` draws a fresh :class:`FaultSpec`; ``mutate`` makes a local
+    move around an existing one (falling back to a fresh sample for
+    parameters it does not understand).  Both round every continuous
+    parameter so specs serialize to stable JSON.
+    """
+
+    def __init__(self, name: str, kind: str,
+                 sampler: Callable[[random.Random, ActionContext], Dict[str, Any]],
+                 mutator: Optional[Callable[
+                     [random.Random, Dict[str, Any], ActionContext],
+                     Dict[str, Any]]] = None):
+        self.name = name
+        self.kind = kind
+        self._sampler = sampler
+        self._mutator = mutator
+
+    def sample(self, rng: random.Random, ctx: ActionContext) -> FaultSpec:
+        return FaultSpec(self.kind, self._sampler(rng, ctx))
+
+    def mutate(self, rng: random.Random, spec: FaultSpec,
+               ctx: ActionContext) -> FaultSpec:
+        if self._mutator is None:
+            return self.sample(rng, ctx)
+        return FaultSpec(self.kind, self._mutator(rng, dict(spec.params), ctx))
+
+
+def _backup_node(rng: random.Random, ctx: ActionContext) -> int:
+    # Nodes 0..f host the primaries; Byzantine vocabulary faults pick a
+    # non-master-primary host so the fault model's bookkeeping matches
+    # the scripted attacks (node 0 misbehaviour is worst2's job).
+    return rng.randrange(1, ctx.n_nodes)
+
+
+def _sample_silence(rng, ctx):
+    return {"node": _backup_node(rng, ctx)}
+
+
+def _sample_flood(rng, ctx):
+    return {"node": _backup_node(rng, ctx),
+            "rate": round(rng.uniform(500.0, 6000.0), 1)}
+
+
+def _mutate_flood(rng, params, ctx):
+    params["rate"] = round(_jitter(rng, params.get("rate", 2000.0),
+                                   500.0, 6000.0), 1)
+    return params
+
+
+def _sample_throttle(rng, ctx):
+    return {"rate": round(rng.uniform(100.0, 1000.0), 1)}
+
+
+def _mutate_throttle(rng, params, ctx):
+    params["rate"] = round(_jitter(rng, params.get("rate", 400.0),
+                                   100.0, 1000.0), 1)
+    return params
+
+
+def _sample_mute(rng, ctx):
+    return {"node": _backup_node(rng, ctx)}
+
+
+def _sample_junk(rng, ctx):
+    return {"count": rng.randrange(1, 33)}
+
+
+def _mutate_junk(rng, params, ctx):
+    count = params.get("count", 8) + rng.choice([-4, -1, 1, 4])
+    params["count"] = max(1, min(32, count))
+    return params
+
+
+def _sample_worst1(rng, ctx):
+    return {"flood_rate": round(rng.uniform(100.0, 1500.0), 1)}
+
+
+def _mutate_worst1(rng, params, ctx):
+    params["flood_rate"] = round(_jitter(rng, params.get("flood_rate", 500.0),
+                                         100.0, 1500.0), 1)
+    return params
+
+
+def _sample_worst2(rng, ctx):
+    return {"flood_rate": round(rng.uniform(100.0, 1500.0), 1),
+            "junk_rate": round(rng.uniform(500.0, 4000.0), 1)}
+
+
+def _mutate_worst2(rng, params, ctx):
+    key = rng.choice(["flood_rate", "junk_rate"])
+    lo, hi = (100.0, 1500.0) if key == "flood_rate" else (500.0, 4000.0)
+    params[key] = round(_jitter(rng, params.get(key, lo), lo, hi), 1)
+    return params
+
+
+def _sample_ic_timing(rng, ctx):
+    return {"node": _backup_node(rng, ctx),
+            "at": round(rng.uniform(0.05, 0.9 * ctx.duration), 3),
+            "choice": rng.randrange(0, 2)}
+
+
+def _mutate_ic_timing(rng, params, ctx):
+    params["at"] = round(_jitter(rng, params.get("at", 0.2),
+                                 0.02, 0.95 * ctx.duration), 3)
+    return params
+
+
+def _sample_crash(rng, ctx):
+    at, until = _window(rng, ctx)
+    return {"node": rng.randrange(ctx.n_nodes), "at": at, "until": until}
+
+
+def _sample_partition(rng, ctx):
+    nodes = list(range(ctx.n_nodes))
+    _shuffle(rng, nodes)
+    cut = rng.choice([1, 2])
+    at, until = _window(rng, ctx)
+    return {"groups": [sorted(nodes[:cut]), sorted(nodes[cut:])],
+            "at": at, "until": until}
+
+
+def _sample_delay(rng, ctx):
+    at, until = _window(rng, ctx)
+    return {"extra": round(rng.uniform(5e-4, 1e-2), 4),
+            "p": round(rng.uniform(0.3, 1.0), 3), "at": at, "until": until}
+
+
+def _mutate_delay(rng, params, ctx):
+    params["extra"] = round(_jitter(rng, params.get("extra", 2e-3),
+                                    5e-4, 1e-2), 4)
+    return params
+
+
+def _sample_drop(rng, ctx):
+    at, until = _window(rng, ctx)
+    return {"p": round(rng.uniform(0.01, 0.3), 3), "at": at, "until": until}
+
+
+def _mutate_drop(rng, params, ctx):
+    params["p"] = round(_jitter(rng, params.get("p", 0.05), 0.01, 0.3), 3)
+    return params
+
+
+def _sample_duplicate(rng, ctx):
+    return {"p": round(rng.uniform(0.05, 0.5), 3)}
+
+
+def _mutate_duplicate(rng, params, ctx):
+    params["p"] = round(_jitter(rng, params.get("p", 0.2), 0.05, 0.5), 3)
+    return params
+
+
+#: the arms of the search, in fixed order (determinism).
+DIMENSIONS: Dict[str, Dimension] = {
+    dim.name: dim for dim in (
+        Dimension("silence", "silent-replicas", _sample_silence),
+        Dimension("flood", "flooding-node", _sample_flood, _mutate_flood),
+        Dimension("throttle", "throttled-master", _sample_throttle,
+                  _mutate_throttle),
+        Dimension("mute", "mute-propagation", _sample_mute),
+        Dimension("junk", "junk-clients", _sample_junk, _mutate_junk),
+        Dimension("worst1", "rbft-worst1", _sample_worst1, _mutate_worst1),
+        Dimension("worst2", "rbft-worst2", _sample_worst2, _mutate_worst2),
+        Dimension("ic-timing", "ic-trigger", _sample_ic_timing,
+                  _mutate_ic_timing),
+        Dimension("crash", "crash", _sample_crash),
+        Dimension("partition", "partition", _sample_partition),
+        Dimension("delay", "delay", _sample_delay, _mutate_delay),
+        Dimension("drop", "drop", _sample_drop, _mutate_drop),
+        Dimension("duplicate", "duplicate", _sample_duplicate,
+                  _mutate_duplicate),
+    )
+}
+
+_KIND_TO_DIMENSION: Dict[str, Dimension] = {
+    dim.kind: dim for dim in DIMENSIONS.values()
+}
+
+
+def plan_key(plan: Sequence[FaultSpec]) -> str:
+    """Canonical identity of a plan (cache/dedupe key)."""
+    return json.dumps([spec.to_dict() for spec in plan], sort_keys=True)
+
+
+# -------------------------------------------------------------- strategies
+class SearchStrategy:
+    """ask/tell interface both search loops implement.
+
+    ``ask(n)`` proposes ``n`` candidate plans; ``tell(plans, rewards)``
+    reports the (ask-order) rewards of the batch.  Strategies see only
+    plans and scalar rewards — the driver owns execution, caching and
+    safety bookkeeping.
+    """
+
+    name = "strategy"
+
+    def __init__(self, seed: int, ctx: ActionContext):
+        self.rng = random.Random(seed)
+        self.ctx = ctx
+
+    def ask(self, n: int) -> List[Tuple[FaultSpec, ...]]:
+        raise NotImplementedError
+
+    def tell(self, plans: List[Tuple[FaultSpec, ...]],
+             rewards: List[float]) -> None:
+        raise NotImplementedError
+
+
+class BanditStrategy(SearchStrategy):
+    """UCB1 over vocabulary dimensions.
+
+    Each arm is one dimension; a candidate is the chosen arm's sampled
+    fault, optionally paired with a second (uniformly drawn) arm so the
+    bandit can discover interactions.  Rewards credit every contributing
+    arm.  Within a batch, provisional counts spread slots over arms so a
+    parallel batch explores like a sequential run would.
+    """
+
+    name = "bandit"
+    EXPLORATION = 0.7
+    PAIR_P = 0.4
+
+    def __init__(self, seed: int, ctx: ActionContext):
+        super().__init__(seed, ctx)
+        self.arms = list(DIMENSIONS)
+        self.counts = {arm: 0 for arm in self.arms}
+        self.sums = {arm: 0.0 for arm in self.arms}
+        self._pending: Dict[str, List[str]] = {}
+
+    def _pick_arm(self, counts: Dict[str, int]) -> str:
+        total = sum(counts.values())
+        for arm in self.arms:  # fixed order: untried arms first
+            if counts[arm] == 0:
+                return arm
+        log_total = math.log(total)
+
+        def ucb(arm: str) -> float:
+            mean = self.sums[arm] / self.counts[arm] if self.counts[arm] else 0.0
+            return mean + self.EXPLORATION * math.sqrt(log_total / counts[arm])
+
+        best = self.arms[0]
+        best_score = ucb(best)
+        for arm in self.arms[1:]:
+            score = ucb(arm)
+            if score > best_score:
+                best, best_score = arm, score
+        return best
+
+    def ask(self, n: int) -> List[Tuple[FaultSpec, ...]]:
+        plans: List[Tuple[FaultSpec, ...]] = []
+        provisional = dict(self.counts)
+        for _ in range(n):
+            arm = self._pick_arm(provisional)
+            provisional[arm] += 1
+            used = [arm]
+            faults = [DIMENSIONS[arm].sample(self.rng, self.ctx)]
+            if self.rng.random() < self.PAIR_P:
+                partner = self.arms[self.rng.randrange(len(self.arms))]
+                if partner != arm:
+                    provisional[partner] += 1
+                    used.append(partner)
+                    faults.append(DIMENSIONS[partner].sample(self.rng, self.ctx))
+            plan = tuple(faults)
+            self._pending[plan_key(plan)] = used
+            plans.append(plan)
+        return plans
+
+    def tell(self, plans: List[Tuple[FaultSpec, ...]],
+             rewards: List[float]) -> None:
+        for plan, reward in zip(plans, rewards):
+            for arm in self._pending.pop(plan_key(plan), ()):
+                self.counts[arm] += 1
+                self.sums[arm] += reward
+
+
+class EvolutionStrategy(SearchStrategy):
+    """Mutation/crossover over fault-plan genomes.
+
+    The genome *is* the plan — a tuple of ``FaultSpec``s.  Generation 0
+    samples random 1–3 fault plans; afterwards children come from
+    tournament-selected parents via crossover (merge two plans' faults)
+    or mutation (tweak one fault's parameters through its dimension, add
+    a fault, or drop one).  A bounded elite pool provides selection
+    pressure; batch-level dedupe keeps the budget spent on new genomes.
+    """
+
+    name = "evolve"
+    POOL_LIMIT = 64
+    TOURNAMENT = 3
+    CROSSOVER_P = 0.35
+
+    def __init__(self, seed: int, ctx: ActionContext):
+        super().__init__(seed, ctx)
+        self.pool: List[Tuple[float, str, Tuple[FaultSpec, ...]]] = []
+        self._seen: set = set()
+
+    # ----------------------------------------------------------- genomes
+    def _sample_plan(self) -> Tuple[FaultSpec, ...]:
+        draw = self.rng.random()
+        count = 1 if draw < 0.5 else (2 if draw < 0.85 else 3)
+        names = list(DIMENSIONS)
+        _shuffle(self.rng, names)
+        return tuple(
+            DIMENSIONS[name].sample(self.rng, self.ctx)
+            for name in names[:count]
+        )
+
+    def _mutate_plan(self, plan: Tuple[FaultSpec, ...]) -> Tuple[FaultSpec, ...]:
+        faults = list(plan)
+        ops = ["tweak"]
+        if len(faults) < MAX_PLAN_FAULTS:
+            ops.append("add")
+        if len(faults) > 1:
+            ops.append("remove")
+        op = self.rng.choice(ops)
+        if op == "tweak" and faults:
+            index = self.rng.randrange(len(faults))
+            dim = _KIND_TO_DIMENSION.get(faults[index].kind)
+            if dim is not None:
+                faults[index] = dim.mutate(self.rng, faults[index], self.ctx)
+        elif op == "add":
+            present = {spec.kind for spec in faults}
+            candidates = [name for name, dim in DIMENSIONS.items()
+                          if dim.kind not in present]
+            if candidates:
+                name = candidates[self.rng.randrange(len(candidates))]
+                faults.append(DIMENSIONS[name].sample(self.rng, self.ctx))
+        elif op == "remove":
+            faults.pop(self.rng.randrange(len(faults)))
+        return tuple(faults)
+
+    def _crossover(self, a: Tuple[FaultSpec, ...],
+                   b: Tuple[FaultSpec, ...]) -> Tuple[FaultSpec, ...]:
+        merged: List[FaultSpec] = []
+        kinds: set = set()
+        pool = list(a) + list(b)
+        order = list(range(len(pool)))
+        _shuffle(self.rng, order)
+        for index in order:
+            spec = pool[index]
+            if spec.kind not in kinds:
+                kinds.add(spec.kind)
+                merged.append(spec)
+            if len(merged) >= MAX_PLAN_FAULTS:
+                break
+        return tuple(merged)
+
+    def _select(self) -> Tuple[FaultSpec, ...]:
+        best: Optional[Tuple[float, str, Tuple[FaultSpec, ...]]] = None
+        for _ in range(self.TOURNAMENT):
+            pick = self.pool[self.rng.randrange(len(self.pool))]
+            if best is None or pick[0] > best[0]:
+                best = pick
+        return best[2]
+
+    # ---------------------------------------------------------- ask/tell
+    def ask(self, n: int) -> List[Tuple[FaultSpec, ...]]:
+        plans: List[Tuple[FaultSpec, ...]] = []
+        batch_keys: set = set()
+        attempts = 0
+        while len(plans) < n and attempts <= 16 * n + 64:
+            attempts += 1
+            if not self.pool or attempts > 4 * n + 8:
+                plan = self._sample_plan()
+            elif self.rng.random() < self.CROSSOVER_P and len(self.pool) > 1:
+                plan = self._crossover(self._select(), self._select())
+            else:
+                plan = self._mutate_plan(self._select())
+            key = plan_key(plan)
+            if key in batch_keys or (key in self._seen
+                                     and attempts <= 4 * n + 8):
+                continue
+            batch_keys.add(key)
+            plans.append(plan)
+        return plans
+
+    def tell(self, plans: List[Tuple[FaultSpec, ...]],
+             rewards: List[float]) -> None:
+        for plan, reward in zip(plans, rewards):
+            key = plan_key(plan)
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            self.pool.append((reward, key, plan))
+        # Highest reward first; the key is a deterministic tie-break.
+        self.pool.sort(key=lambda item: (-item[0], item[1]))
+        del self.pool[self.POOL_LIMIT:]
+
+
+STRATEGIES: Dict[str, type] = {
+    BanditStrategy.name: BanditStrategy,
+    EvolutionStrategy.name: EvolutionStrategy,
+}
+
+
+def resolve_strategies(name: str) -> Tuple[str, ...]:
+    """``"bandit"`` / ``"evolve"`` / ``"both"`` → strategy name tuple."""
+    if name in ("both", "all"):
+        return tuple(STRATEGIES)
+    if name in STRATEGIES:
+        return (name,)
+    raise ValueError(
+        "unknown search strategy %r (known: %s, both)"
+        % (name, ", ".join(STRATEGIES))
+    )
+
+
+# ------------------------------------------------------------------ reward
+def compute_reward(baseline: EpisodeResult,
+                   result: EpisodeResult) -> Dict[str, float]:
+    """Reward = throughput degradation, latency-tilted.
+
+    ``degradation`` is the fraction of the fault-free baseline's
+    completed requests the attack destroyed; ``latency_ratio`` is the
+    attacked mean latency over the baseline's.  The scalar ``reward``
+    is degradation plus a small bounded latency term, so plans that
+    throttle equally rank by how much they hurt latency.
+    """
+    if baseline.completed > 0:
+        degradation = 1.0 - result.completed / baseline.completed
+    else:
+        degradation = 0.0
+    if baseline.mean_latency > 0 and result.completed > 0:
+        latency_ratio = result.mean_latency / baseline.mean_latency
+    else:
+        latency_ratio = 1.0
+    reward = max(0.0, degradation) + LATENCY_WEIGHT * min(
+        max(latency_ratio - 1.0, 0.0), 1.0
+    )
+    return {
+        "reward": reward,
+        "degradation": degradation,
+        "latency_ratio": latency_ratio,
+    }
+
+
+# ------------------------------------------------------------------ driver
+@dataclass
+class LeaderboardEntry:
+    """One ranked attack: the shrunk plan and how much it hurts."""
+
+    plan: Tuple[FaultSpec, ...]
+    result: EpisodeResult
+    reward: float
+    degradation: float
+    latency_ratio: float
+    strategy: str
+    artifact: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        record = {
+            "plan": [spec.to_dict() for spec in self.plan],
+            "digest": self.result.digest,
+            "reward": round(self.reward, 6),
+            "throughput_degradation": round(self.degradation, 6),
+            "latency_ratio": round(self.latency_ratio, 6),
+            "completed": self.result.completed,
+            "violations": sorted(self.result.violated()),
+            "strategy": self.strategy,
+        }
+        if self.artifact is not None:
+            record["artifact"] = self.artifact
+        return record
+
+
+@dataclass
+class SearchReport:
+    """Everything one :func:`run_search` produced."""
+
+    protocol: str
+    master_seed: int
+    budget: int
+    strategies: Tuple[str, ...]
+    baseline: EpisodeResult
+    entries: List[LeaderboardEntry] = field(default_factory=list)
+    scripted: Dict[str, LeaderboardEntry] = field(default_factory=dict)
+    counterexamples: List[Tuple[EpisodeSpec, EpisodeResult]] = field(
+        default_factory=list
+    )
+    evaluations: int = 0
+    artifacts: List[str] = field(default_factory=list)
+    leaderboard: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def best(self) -> Optional[LeaderboardEntry]:
+        return self.entries[0] if self.entries else None
+
+    @property
+    def scripted_bar(self) -> float:
+        """The strongest scripted adversary's reward — the bar to beat."""
+        if not self.scripted:
+            return 0.0
+        return max(entry.reward for entry in self.scripted.values())
+
+    @property
+    def beats_scripted(self) -> bool:
+        best = self.best
+        return best is not None and best.reward >= self.scripted_bar
+
+    @property
+    def ok(self) -> bool:
+        """No invariant violation anywhere — searched or scripted."""
+        return not self.counterexamples and all(
+            entry.result.ok for entry in self.scripted.values()
+        )
+
+
+def _derive_seed(master_seed: int, salt: str) -> int:
+    rng = random.Random(
+        (master_seed * 0x9E3779B1 + sum(salt.encode()) * 0x85EBCA77 + 1)
+        & 0x7FFFFFFF
+    )
+    return rng.randrange(1 << 31)
+
+
+def run_search(
+    master_seed: int = 0,
+    budget: int = 48,
+    strategy: str = "both",
+    protocol: str = "rbft",
+    jobs: Optional[int] = None,
+    out_dir: Optional[str] = None,
+    batch: int = 8,
+    top_n: int = 5,
+    shrink_champions: bool = True,
+    **spec_overrides,
+) -> SearchReport:
+    """Search the fault space for the plans that hurt ``protocol`` most.
+
+    ``budget`` counts attacked-episode proposals across all selected
+    strategies (split evenly); the fault-free baseline, the scripted
+    §VI-C references and the shrink re-runs come on top.  The whole run
+    is a pure function of ``(master_seed, budget, strategy, protocol,
+    spec_overrides)`` — ``jobs`` only changes wall-clock time.
+    """
+    from repro.experiments.parallel import execute_tasks
+
+    strategy_names = resolve_strategies(strategy)
+    base_spec = EpisodeSpec(
+        seed=_derive_seed(master_seed, "episode"),
+        plan=(),
+        protocol=protocol,
+        **spec_overrides,
+    )
+    ctx = ActionContext(
+        duration=base_spec.duration, n_nodes=3 * base_spec.f + 1
+    )
+    baseline = run_episode(base_spec)
+    report = SearchReport(
+        protocol=protocol, master_seed=master_seed, budget=budget,
+        strategies=strategy_names, baseline=baseline,
+    )
+
+    cache: Dict[str, Tuple[EpisodeResult, Dict[str, float]]] = {}
+    discovered: Dict[str, str] = {}  # plan key -> discovering strategy
+
+    def evaluate(plans: List[Tuple[FaultSpec, ...]],
+                 origin: str) -> List[Dict[str, float]]:
+        fresh: List[Tuple[str, Tuple[FaultSpec, ...]]] = []
+        seen_in_batch: set = set()
+        for plan in plans:
+            key = plan_key(plan)
+            if key in cache or key in seen_in_batch:
+                continue
+            seen_in_batch.add(key)
+            fresh.append((key, plan))
+        if fresh:
+            tasks = [
+                _EpisodeTask(replace(base_spec, plan=plan))
+                for _, plan in fresh
+            ]
+            results = execute_tasks(tasks, jobs=jobs)
+            for (key, plan), result in zip(fresh, results):
+                cache[key] = (result, compute_reward(baseline, result))
+                discovered.setdefault(key, origin)
+                report.evaluations += 1
+        return [cache[plan_key(plan)][1] for plan in plans]
+
+    # ---------------------------------------------------- scripted bar
+    scripted_rewards = [
+        (name, plan, metrics)
+        for (name, plan), metrics in zip(
+            SCRIPTED_PLANS,
+            evaluate([plan for _, plan in SCRIPTED_PLANS], "scripted"),
+        )
+    ]
+    for name, plan, metrics in scripted_rewards:
+        result = cache[plan_key(plan)][0]
+        report.scripted[name] = LeaderboardEntry(
+            plan=plan, result=result, strategy="scripted", **metrics
+        )
+
+    # -------------------------------------------------------- the search
+    per_strategy = max(1, budget // len(strategy_names))
+    for name in strategy_names:
+        strat = STRATEGIES[name](
+            seed=_derive_seed(master_seed, "strategy:" + name), ctx=ctx
+        )
+        evaluated = 0
+        while evaluated < per_strategy:
+            n = min(batch, per_strategy - evaluated)
+            plans = strat.ask(n)
+            metrics = evaluate(plans, name)
+            strat.tell(plans, [m["reward"] for m in metrics])
+            evaluated += n
+
+    # --------------------------------------- violations are findings too
+    for key, (result, metrics) in sorted(cache.items()):
+        if discovered.get(key) == "scripted" or result.ok:
+            continue
+        if len(result.spec.plan) > 1:
+            minimal_spec, minimal = shrink(result.spec, result.violated())
+        else:
+            minimal_spec, minimal = result.spec, result
+        report.counterexamples.append((minimal_spec, minimal))
+
+    # ----------------------------------------------- champions, shrunk
+    ranked = sorted(
+        (
+            (metrics["reward"], key, result, metrics)
+            for key, (result, metrics) in cache.items()
+            if discovered.get(key) != "scripted"
+        ),
+        key=lambda item: (-item[0], item[1]),
+    )
+    champions: Dict[str, LeaderboardEntry] = {}
+    for reward_value, key, result, metrics in ranked:
+        if len(champions) >= top_n or reward_value <= 0.0:
+            break
+        spec, final_result, final_metrics = result.spec, result, metrics
+        if shrink_champions and len(result.spec.plan) > 1:
+            floor = SHRINK_KEEP * reward_value
+            spec, final_result = shrink_by(
+                result.spec,
+                lambda candidate: (
+                    compute_reward(baseline, candidate)["reward"] >= floor
+                ),
+            )
+            final_metrics = compute_reward(baseline, final_result)
+        shrunk_key = plan_key(spec.plan)
+        previous = champions.get(shrunk_key)
+        if previous is not None and previous.reward >= final_metrics["reward"]:
+            continue
+        champions[shrunk_key] = LeaderboardEntry(
+            plan=spec.plan, result=final_result,
+            strategy=discovered.get(key, "?"), **final_metrics
+        )
+    report.entries = sorted(
+        champions.values(),
+        key=lambda entry: (-entry.reward, plan_key(entry.plan)),
+    )
+
+    # ---------------------------------------------------------- artifacts
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+
+        def _write(result: EpisodeResult, name: str) -> str:
+            path = os.path.join(out_dir, name)
+            report.artifacts.append(write_episode(result, path))
+            return name
+
+        baseline_name = _write(baseline, "search-baseline.json")
+        for rank, entry in enumerate(report.entries, start=1):
+            entry.artifact = _write(entry.result, "search-episode-%02d.json" % rank)
+        for name, entry in report.scripted.items():
+            entry.artifact = _write(entry.result, "scripted-%s.json" % name)
+        for index, (_, minimal) in enumerate(report.counterexamples):
+            _write(minimal, "search-counterexample-%04d.json" % index)
+        report.leaderboard = build_leaderboard(report, baseline_name)
+        path = os.path.join(out_dir, LEADERBOARD_NAME)
+        with open(path, "w", encoding="utf-8") as fileobj:
+            json.dump(report.leaderboard, fileobj, indent=2, sort_keys=True)
+            fileobj.write("\n")
+        report.artifacts.append(path)
+    else:
+        report.leaderboard = build_leaderboard(report, None)
+    return report
+
+
+def build_leaderboard(report: SearchReport,
+                      baseline_artifact: Optional[str]) -> Dict[str, Any]:
+    """The leaderboard artifact: worst discovered attacks, per protocol.
+
+    Deterministic content only — no timestamps, hostnames or wall-clock
+    numbers — so the same seed and budget write byte-identical files.
+    """
+    baseline_record: Dict[str, Any] = {
+        "digest": report.baseline.digest,
+        "completed": report.baseline.completed,
+        "throughput": round(report.baseline.throughput, 6),
+        "mean_latency": round(report.baseline.mean_latency, 9),
+    }
+    if baseline_artifact is not None:
+        baseline_record["artifact"] = baseline_artifact
+    return {
+        "format": 1,
+        "protocol": report.protocol,
+        "master_seed": report.master_seed,
+        "budget": report.budget,
+        "strategies": list(report.strategies),
+        "episode": report.baseline.spec.to_dict(),
+        "evaluations": report.evaluations,
+        "baseline": baseline_record,
+        "scripted": {
+            name: entry.to_dict()
+            for name, entry in sorted(report.scripted.items())
+        },
+        "entries": [
+            dict(entry.to_dict(), rank=rank + 1)
+            for rank, entry in enumerate(report.entries)
+        ],
+    }

@@ -9,6 +9,9 @@ into a live deployment.  The vocabulary covers:
   ``mute-propagation``, ``junk-clients``);
 * the paper's two worst-case RBFT adversaries (``rbft-worst1``,
   ``rbft-worst2``, §VI-C) via :mod:`repro.faults.attacks`;
+* instance-change timing (``ic-trigger``): a Byzantine node casts an
+  unprovoked INSTANCE-CHANGE vote at a chosen instant — the adversarial
+  search's handle on *when* monitoring-induced churn lands;
 * network faults through the interceptor: ``crash`` (isolate a node for
   a window, then let it recover), ``partition``, ``delay``, ``drop``
   and ``duplicate``.
@@ -136,6 +139,23 @@ def _install_rbft_worst2(dep, params, handle: PlanHandle) -> None:
     handle.flooders.extend(attack.flooders)
 
 
+def _install_ic_trigger(dep, params, handle: PlanHandle) -> None:
+    """Instance-change timing as an adversary action: at ``at`` seconds
+    one Byzantine node casts an unprovoked INSTANCE-CHANGE vote for
+    ``choice`` (default: its own preference).  Alone it is harmless —
+    correct nodes only join when they observe a breach or see an f+1
+    quorum — but timed against a throttled/flooded master it decides
+    *when* the churn the monitors were about to cause actually lands."""
+    node = dep.nodes[params.get("node", 3)]
+    choice = params.get("choice")
+
+    def cast_vote() -> None:
+        node.vote_instance_change("malicious", choice=choice)
+
+    dep.sim.call_after(params.get("at", 0.2), cast_vote)
+    handle.faulty.add(node.name)
+
+
 def _install_crash(dep, params, handle: PlanHandle) -> None:
     """Crash-as-isolation: the node neither sends nor receives for the
     window, then recovers with its state intact (a warm reboot)."""
@@ -196,6 +216,7 @@ FAULT_KINDS: Dict[str, Callable] = {
     "junk-clients": _install_junk_clients,
     "rbft-worst1": _install_rbft_worst1,
     "rbft-worst2": _install_rbft_worst2,
+    "ic-trigger": _install_ic_trigger,
     "crash": _install_crash,
     "partition": _install_partition,
     "delay": _install_delay,

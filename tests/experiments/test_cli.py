@@ -50,3 +50,119 @@ def test_fig12_runs_end_to_end(capsys):
     out = capsys.readouterr().out
     assert "Fig. 12" in out
     assert "instance change" in out
+
+
+# --------------------------------------------------- exit-code discipline
+#
+# 0 = success, 1 = a gate caught a genuine finding (--check failure,
+# replay mismatch), 2 = usage error (bad arguments, unreadable
+# artifacts).  CI relies on 1-vs-2 to tell "the protocol regressed"
+# apart from "the job is misconfigured".
+
+
+def test_search_unknown_strategy_is_a_usage_error(capsys):
+    assert main([
+        "explore", "--search", "--strategy", "simulated-annealing",
+        "--budget", "1",
+    ]) == 2
+    assert "unknown search strategy" in capsys.readouterr().err
+
+
+def test_search_unknown_protocol_is_a_usage_error(capsys):
+    assert main([
+        "explore", "--search", "--protocol", "zyzzyva",
+        "--budget", "1", "--duration", "0.4",
+    ]) == 2
+    assert "zyzzyva" in capsys.readouterr().err
+
+
+def test_check_replay_of_a_directory(capsys, tmp_path):
+    import json
+
+    out_dir = str(tmp_path)
+    assert main([
+        "explore", "--episodes", "2", "--seed", "1",
+        "--out", out_dir, "--duration", "0.4",
+    ]) == 0
+    capsys.readouterr()
+
+    # A directory expands to every episode artifact inside it.
+    assert main(["check", "--replay", out_dir]) == 0
+    assert "2/2 byte-identical replays" in capsys.readouterr().out
+
+    # Digest drift in any one artifact is a gate failure (exit 1), the
+    # negative test the adversary-regression CI job depends on.
+    victim = tmp_path / "episode-0001.json"
+    record = json.loads(victim.read_text())
+    record["digest"] = "0" * 64
+    victim.write_text(json.dumps(record))
+    assert main(["check", "--replay", out_dir]) == 1
+    assert "MISMATCH" in capsys.readouterr().out
+
+
+def test_check_replay_usage_errors(capsys, tmp_path):
+    # An empty directory has nothing to replay: usage error, not a gate.
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["check", "--replay", str(empty)]) == 2
+    assert "no episode artifacts" in capsys.readouterr().err
+
+    # Malformed JSON is a usage error too — a broken pin must not read
+    # as "the protocol regressed".
+    broken = tmp_path / "broken.json"
+    broken.write_text("{not json")
+    assert main(["check", "--replay", str(broken)]) == 2
+    assert "malformed" in capsys.readouterr().err
+
+
+def test_search_cli_round_trip(capsys, tmp_path):
+    out_dir = str(tmp_path / "board")
+    assert main([
+        "explore", "--search", "--budget", "2", "--seed", "1",
+        "--strategy", "bandit", "--out", out_dir,
+        "--duration", "0.4", "--check",
+    ]) == 0
+    stdout = capsys.readouterr().out
+    assert "adversary search:" in stdout
+    assert "scripted rbft-worst1" in stdout
+    assert "scripted rbft-worst2" in stdout
+
+    # The leaderboard's episode artifacts replay like explorer episodes.
+    assert main(["check", "--replay", out_dir]) == 0
+    assert "byte-identical replays" in capsys.readouterr().out
+
+
+def test_pinned_episode_validator(tmp_path):
+    import json
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    repo = Path(__file__).resolve().parents[2]
+    script = str(repo / "tools" / "check_episodes.py")
+
+    def run(directory):
+        return subprocess.run(
+            [sys.executable, script, str(directory)],
+            capture_output=True, text=True,
+        )
+
+    # The committed pins must validate.
+    assert run(repo / "benchmarks" / "adversary").returncode == 0
+
+    # A pin with a bogus protocol, an unknown fault kind or a missing
+    # digest is caught at lint time.
+    bad_dir = tmp_path / "pins"
+    bad_dir.mkdir()
+    (bad_dir / "bad.json").write_text(json.dumps({
+        "spec": {
+            "seed": 1,
+            "protocol": "zyzzyva",
+            "plan": [{"kind": "not-a-fault", "params": {}}],
+        },
+    }))
+    verdict = run(bad_dir)
+    assert verdict.returncode == 1
+    assert "unknown protocol" in verdict.stderr
+    assert "unknown fault kind" in verdict.stderr
+    assert "digest" in verdict.stderr

@@ -1,0 +1,231 @@
+"""Tests for the learned adversary: the action space, both search
+strategies, the reward, and end-to-end seeded determinism (including
+artifact byte-identity across worker counts)."""
+
+import filecmp
+import json
+
+import pytest
+
+from repro.verify import (
+    DIMENSIONS,
+    BanditStrategy,
+    EpisodeResult,
+    EpisodeSpec,
+    EvolutionStrategy,
+    FAULT_KINDS,
+    compute_reward,
+    fault,
+    resolve_strategies,
+    run_episode,
+    run_search,
+)
+from repro.verify.search import (
+    LEADERBOARD_NAME,
+    MAX_PLAN_FAULTS,
+    SCRIPTED_PLANS,
+    ActionContext,
+    plan_key,
+)
+
+#: short load window — determinism and wiring are duration-independent.
+SHORT = dict(duration=0.4, drain=0.6)
+
+CTX = ActionContext(duration=0.4, n_nodes=4)
+
+
+# ------------------------------------------------------------ action space
+def test_every_dimension_samples_a_registered_fault():
+    import random
+
+    for name, dimension in DIMENSIONS.items():
+        spec = dimension.sample(random.Random(1), CTX)
+        assert spec.kind in FAULT_KINDS, name
+        again = dimension.sample(random.Random(1), CTX)
+        assert spec == again, "sampling must be a pure function of the rng"
+
+
+def test_every_dimension_mutates_within_its_kind():
+    import random
+
+    for name, dimension in DIMENSIONS.items():
+        spec = dimension.sample(random.Random(2), CTX)
+        mutated = dimension.mutate(random.Random(3), spec, CTX)
+        assert mutated.kind == spec.kind, name
+        assert mutated.kind in FAULT_KINDS
+
+
+def test_plan_key_is_canonical():
+    plan = (fault("delay", extra=1e-3, p=0.5),)
+    assert plan_key(plan) == plan_key((fault("delay", p=0.5, extra=1e-3),))
+    assert plan_key(plan) != plan_key((fault("delay", extra=2e-3, p=0.5),))
+
+
+def test_scripted_references_are_the_paper_worst_attacks():
+    names = [name for name, _ in SCRIPTED_PLANS]
+    assert names == ["rbft-worst1", "rbft-worst2"]
+
+
+# -------------------------------------------------------------- strategies
+def _drive(strategy_cls, seed, rounds=3, batch=4):
+    """Run ask/tell rounds with a synthetic deterministic reward."""
+    strategy = strategy_cls(seed, CTX)
+    history = []
+    for _ in range(rounds):
+        plans = strategy.ask(batch)
+        assert len(plans) <= batch
+        for plan in plans:
+            assert 0 < len(plan) <= MAX_PLAN_FAULTS
+        # Reward long plans slightly so tell() has a gradient to follow.
+        rewards = [len(plan) / float(MAX_PLAN_FAULTS) for plan in plans]
+        strategy.tell(plans, rewards)
+        history.append([plan_key(plan) for plan in plans])
+    return history
+
+
+@pytest.mark.parametrize("strategy_cls", [BanditStrategy, EvolutionStrategy])
+def test_strategies_are_deterministic_given_a_seed(strategy_cls):
+    assert _drive(strategy_cls, seed=5) == _drive(strategy_cls, seed=5)
+    assert _drive(strategy_cls, seed=5) != _drive(strategy_cls, seed=6)
+
+
+@pytest.mark.parametrize("strategy_cls", [BanditStrategy, EvolutionStrategy])
+def test_strategies_do_not_repropose_within_a_batch(strategy_cls):
+    strategy = strategy_cls(7, CTX)
+    plans = strategy.ask(8)
+    keys = [plan_key(plan) for plan in plans]
+    assert len(keys) == len(set(keys))
+
+
+def test_bandit_credits_every_contributing_arm():
+    strategy = BanditStrategy(11, CTX)
+    plans = strategy.ask(6)
+    strategy.tell(plans, [1.0] * len(plans))
+    credited = sum(strategy.counts.values())
+    # Paired proposals credit two arms, singles one.
+    assert credited >= len(plans)
+    assert sum(strategy.sums.values()) == pytest.approx(credited)
+
+
+def test_resolve_strategies():
+    assert resolve_strategies("both") == ("bandit", "evolve")
+    assert resolve_strategies("all") == ("bandit", "evolve")
+    assert resolve_strategies("bandit") == ("bandit",)
+    assert resolve_strategies("evolve") == ("evolve",)
+    with pytest.raises(ValueError):
+        resolve_strategies("gradient-descent")
+
+
+# ------------------------------------------------------------------ reward
+def test_compute_reward_math():
+    base_spec = EpisodeSpec(seed=0)
+    baseline = EpisodeResult(
+        spec=base_spec, digest="0" * 64, sent=100, completed=100,
+        mean_latency=2e-3,
+    )
+    attacked = EpisodeResult(
+        spec=base_spec, digest="1" * 64, sent=100, completed=25,
+        mean_latency=4e-3,
+    )
+    verdict = compute_reward(baseline, attacked)
+    assert verdict["degradation"] == pytest.approx(0.75)
+    assert verdict["latency_ratio"] == pytest.approx(2.0)
+    # degradation + 0.05 * min(latency_ratio - 1, 1)
+    assert verdict["reward"] == pytest.approx(0.80)
+
+
+def test_compute_reward_never_rewards_speedups():
+    base_spec = EpisodeSpec(seed=0)
+    baseline = EpisodeResult(
+        spec=base_spec, digest="0" * 64, sent=100, completed=100,
+        mean_latency=2e-3,
+    )
+    faster = EpisodeResult(
+        spec=base_spec, digest="1" * 64, sent=100, completed=110,
+        mean_latency=1e-3,
+    )
+    assert compute_reward(baseline, faster)["reward"] == 0.0
+
+
+# ------------------------------------------------- instance-change trigger
+def test_ic_trigger_fault_runs_clean_and_replays_identically():
+    spec = EpisodeSpec(
+        seed=13, plan=(fault("ic-trigger", node=2, at=0.2),), **SHORT
+    )
+    first = run_episode(spec)
+    second = run_episode(spec)
+    # The voting node is marked faulty, so the lone malicious vote is
+    # within the fault model — no invariant violation, stable digest.
+    assert first.ok, first.violations
+    assert first.digest == second.digest
+
+
+# -------------------------------------------------------------- end-to-end
+def test_run_search_rejects_unknown_strategy_and_protocol():
+    with pytest.raises(ValueError):
+        run_search(strategy="simulated-annealing", budget=0)
+    with pytest.raises(ValueError):
+        run_search(protocol="pbft", budget=0, **SHORT)
+
+
+def test_run_search_is_deterministic_across_worker_counts(tmp_path):
+    serial_dir = tmp_path / "serial"
+    parallel_dir = tmp_path / "parallel"
+    serial = run_search(
+        master_seed=2, budget=6, jobs=1, out_dir=str(serial_dir),
+        top_n=3, **SHORT
+    )
+    parallel = run_search(
+        master_seed=2, budget=6, jobs=4, out_dir=str(parallel_dir),
+        top_n=3, **SHORT
+    )
+    names = sorted(p.name for p in serial_dir.iterdir())
+    assert names == sorted(p.name for p in parallel_dir.iterdir())
+    assert LEADERBOARD_NAME in names
+    match, mismatch, errors = filecmp.cmpfiles(
+        str(serial_dir), str(parallel_dir), names, shallow=False
+    )
+    assert mismatch == [] and errors == [], "artifacts must be byte-identical"
+    assert [e.reward for e in serial.entries] == [
+        e.reward for e in parallel.entries
+    ]
+
+
+def test_run_search_report_and_leaderboard_shape(tmp_path):
+    report = run_search(
+        master_seed=4, budget=4, strategy="bandit", jobs=1,
+        out_dir=str(tmp_path), top_n=2, **SHORT
+    )
+    assert report.strategies == ("bandit",)
+    assert report.baseline.completed > 0
+    assert set(report.scripted) == {"rbft-worst1", "rbft-worst2"}
+    rewards = [entry.reward for entry in report.entries]
+    assert rewards == sorted(rewards, reverse=True)
+    # budget-many searched proposals plus the scripted references.
+    assert report.evaluations <= 4 + len(report.scripted)
+    with open(tmp_path / LEADERBOARD_NAME, "r", encoding="utf-8") as fileobj:
+        board = json.load(fileobj)
+    assert board["format"] == 1
+    assert board["protocol"] == "rbft"
+    assert board["master_seed"] == 4
+    assert len(board["entries"]) == len(report.entries)
+    for entry, artifact in zip(board["entries"], report.entries):
+        assert entry["artifact"] == artifact.artifact
+        assert (tmp_path / entry["artifact"]).exists()
+    # Leaderboard artifacts replay: spec + digest round-trip.
+    from repro.verify import check_replay
+
+    champion = tmp_path / board["entries"][0]["artifact"]
+    assert check_replay(str(champion))["match"]
+
+
+def test_champions_are_shrunk_to_load_bearing_plans(tmp_path):
+    report = run_search(
+        master_seed=2, budget=6, jobs=1, out_dir=str(tmp_path),
+        top_n=1, **SHORT
+    )
+    best = report.best
+    assert best is not None
+    # ddmin guarantee: dropping any single fault loses >=5% of the
+    # champion's reward, otherwise the shrinker would have dropped it.
+    assert 0 < len(best.plan) <= MAX_PLAN_FAULTS

@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Validate pinned adversary regression episodes (CI lint step).
+
+The ``adversary-regression`` CI job replays every episode pinned under
+``benchmarks/adversary/`` and fails on digest drift — but a replay can
+only catch what *parses*.  This check catches the cheaper mistakes at
+lint time, without running the simulator:
+
+* every ``*.json`` episode artifact parses and carries a ``spec`` with a
+  fault plan whose kinds exist in the fault vocabulary;
+* the spec names a registered protocol (the RBFT family the episode
+  runner accepts);
+* the artifact carries a non-empty SHA-256 invariant digest (otherwise
+  ``check --replay`` would "match" against nothing);
+* ``LEADERBOARD.json``, when present, references only episode artifacts
+  that actually exist next to it.
+
+Usage: ``python tools/check_episodes.py [DIR ...]`` (default:
+``benchmarks/adversary``).  Exits non-zero listing every problem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+DEFAULT_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "benchmarks", "adversary"
+)
+
+
+def _is_sha256(value) -> bool:
+    return (
+        isinstance(value, str)
+        and len(value) == 64
+        and all(c in "0123456789abcdef" for c in value)
+    )
+
+
+def check_episode(path: str, fault_kinds, protocols) -> list:
+    problems = []
+    try:
+        with open(path, "r", encoding="utf-8") as fileobj:
+            record = json.load(fileobj)
+    except (OSError, ValueError) as exc:
+        return ["%s: does not parse: %s" % (path, exc)]
+    spec = record.get("spec")
+    if not isinstance(spec, dict):
+        return ["%s: no episode spec" % path]
+    protocol = spec.get("protocol", "rbft")
+    if protocol not in protocols:
+        problems.append(
+            "%s: unknown protocol %r (registered: %s)"
+            % (path, protocol, ", ".join(sorted(protocols)))
+        )
+    for fault in spec.get("plan", ()):
+        kind = fault.get("kind") if isinstance(fault, dict) else None
+        if kind not in fault_kinds:
+            problems.append("%s: unknown fault kind %r" % (path, kind))
+    if not _is_sha256(record.get("digest")):
+        problems.append(
+            "%s: missing or malformed invariant digest" % path
+        )
+    return problems
+
+
+def check_leaderboard(path: str) -> list:
+    problems = []
+    try:
+        with open(path, "r", encoding="utf-8") as fileobj:
+            record = json.load(fileobj)
+    except (OSError, ValueError) as exc:
+        return ["%s: does not parse: %s" % (path, exc)]
+    directory = os.path.dirname(path)
+    referenced = [record.get("baseline", {}).get("artifact")]
+    for entry in record.get("entries", ()):
+        referenced.append(entry.get("artifact"))
+    for entry in record.get("scripted", {}).values():
+        referenced.append(entry.get("artifact"))
+    for artifact in referenced:
+        if artifact and not os.path.exists(os.path.join(directory, artifact)):
+            problems.append(
+                "%s: references missing artifact %r" % (path, artifact)
+            )
+    return problems
+
+
+def check_directory(directory: str, fault_kinds, protocols) -> list:
+    problems = []
+    episodes = 0
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        if name == "LEADERBOARD.json":
+            problems.extend(check_leaderboard(path))
+        else:
+            episodes += 1
+            problems.extend(check_episode(path, fault_kinds, protocols))
+    if not episodes:
+        problems.append("%s: no pinned episode artifacts" % directory)
+    return problems
+
+
+def main(argv) -> int:
+    from repro.protocols import registry
+    from repro.verify.episode import RBFT_FAMILY
+    from repro.verify.vocabulary import FAULT_KINDS
+
+    protocols = frozenset(registry.names()) & frozenset(RBFT_FAMILY)
+    directories = argv[1:] or [DEFAULT_DIR]
+    problems = []
+    for directory in directories:
+        if not os.path.isdir(directory):
+            problems.append("%s: not a directory" % directory)
+            continue
+        problems.extend(
+            check_directory(directory, frozenset(FAULT_KINDS), protocols)
+        )
+    for problem in problems:
+        print("check_episodes: %s" % problem, file=sys.stderr)
+    if problems:
+        return 1
+    print("check_episodes: %s ok" % ", ".join(directories))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
