@@ -40,6 +40,13 @@ class RateProfile:
     rate_fn: Callable[[float], float]  # time -> aggregate requests/second
     active_fn: Callable[[float], int]  # time -> number of active clients
     duration: float
+    #: times (relative to profile start) where the rate/client count may
+    #: change.  ``()`` declares the profile piecewise-constant with no
+    #: interior changes (static load); ``None`` — the default for
+    #: hand-built profiles — means "unknown", which disables mesoscale
+    #: fast-forward (the controller cannot bound a steady-state window
+    #: without knowing where the load next shifts).
+    boundaries: Optional[tuple] = None
 
     def rate(self, t: float) -> float:
         return max(0.0, self.rate_fn(t))
@@ -65,7 +72,7 @@ class RateProfile:
 
 def static_profile(rate: float, duration: float, clients: int = 10) -> RateProfile:
     """A saturating constant load."""
-    return RateProfile(lambda t: rate, lambda t: clients, duration)
+    return RateProfile(lambda t: rate, lambda t: clients, duration, boundaries=())
 
 
 def dynamic_profile(
@@ -99,6 +106,16 @@ def dynamic_profile(
         lambda t: clients_at(t) * per_client_rate,
         clients_at,
         duration,
+        # The ramps change the client count once per head count step;
+        # conservatively mark every step time so fast-forward never
+        # jumps across a rate change.
+        boundaries=tuple(sorted(
+            {duration * x for x in (0.30, 0.40, 0.60, 0.70)}
+            | {duration * (0.30 * (i / max(1, ramp_clients - 1)))
+               for i in range(1, ramp_clients)}
+            | {duration * (0.70 + 0.30 * (i / max(1, ramp_clients - 1)))
+               for i in range(1, ramp_clients)}
+        )),
     )
 
 

@@ -7,6 +7,15 @@ PROPAGATEs, 2f+1 INSTANCE-CHANGEs, f+1 matching replies at the client.
 arbitrary hashable (sequence number, digest, whatever the phase matches
 on), counting each sender once, and reporting the threshold crossing
 exactly once.
+
+Representation: votes are stored as **bitmasks**.  Each distinct sender
+name is lazily assigned one bit (senders are replicas and clients, a
+small closed population), and each key holds a single int that ORs the
+bits of its voters.  A vote is then one dict lookup, one OR and one
+``int.bit_count()`` — no per-key set allocation, no per-sender hashing
+into a set — which is measurably cheaper in saturated runs where every
+message touches a tracker.  The observable API (dedup per sender,
+exactly-once threshold crossing, counts, pruning) is unchanged.
 """
 
 from __future__ import annotations
@@ -33,7 +42,10 @@ class QuorumTracker:
         if threshold < 1:
             raise ValueError("threshold must be at least 1")
         self.threshold = threshold
-        self._senders: Dict[Hashable, Set[str]] = {}
+        #: lazily assigned sender -> bit (1 << insertion index).
+        self._bits: Dict[str, int] = {}
+        #: key -> OR of its voters' bits.
+        self._masks: Dict[Hashable, int] = {}
         self._complete: Set[Hashable] = set()
 
     def add(self, key: Hashable, sender: str) -> bool:
@@ -44,19 +56,23 @@ class QuorumTracker:
         """
         if key in self._complete:
             return False
-        senders = self._senders.get(key)
-        if senders is None:
-            # First vote: avoid setdefault, which allocates a set even
-            # when the key already exists (the common case under load).
-            self._senders[key] = {sender}
+        bits = self._bits
+        bit = bits.get(sender)
+        if bit is None:
+            bits[sender] = bit = 1 << len(bits)
+        masks = self._masks
+        mask = masks.get(key)
+        if mask is None:
+            masks[key] = bit
             if self.threshold <= 1:
                 self._complete.add(key)
                 return True
             return False
-        if sender in senders:
-            return False
-        senders.add(sender)
-        if len(senders) >= self.threshold:
+        merged = mask | bit
+        if merged == mask:
+            return False  # duplicate vote
+        masks[key] = merged
+        if merged.bit_count() >= self.threshold:
             self._complete.add(key)
             return True
         return False
@@ -64,14 +80,14 @@ class QuorumTracker:
     def count(self, key: Hashable) -> int:
         if key in self._complete:
             return self.threshold
-        return len(self._senders.get(key, ()))
+        return self._masks.get(key, 0).bit_count()
 
     def complete(self, key: Hashable) -> bool:
         return key in self._complete
 
     def discard(self, key: Hashable) -> None:
         """Forget a key entirely (e.g. after checkpoint garbage collection)."""
-        self._senders.pop(key, None)
+        self._masks.pop(key, None)
         self._complete.discard(key)
 
     def prune(self, predicate) -> int:
@@ -81,14 +97,14 @@ class QuorumTracker:
         below the advancing low watermark in one pass; returns how many
         keys were forgotten.
         """
-        stale = set(key for key in self._senders if predicate(key))
+        stale = set(key for key in self._masks if predicate(key))
         stale.update(key for key in self._complete if predicate(key))
         for key in stale:
-            self._senders.pop(key, None)
+            self._masks.pop(key, None)
             self._complete.discard(key)
         return len(stale)
 
     def __len__(self) -> int:
-        # Completed keys usually still hold their sender set, so take the
+        # Completed keys usually still hold their vote mask, so take the
         # union rather than the sum.
-        return len(self._senders.keys() | self._complete)
+        return len(self._masks.keys() | self._complete)

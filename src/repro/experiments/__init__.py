@@ -23,6 +23,8 @@ from .runner import (
     unfair_primary_run,
 )
 from .kernelbench import check_regression, run_kernel_bench, write_kernel_bench
+from .meso import MesoConfig
+from .mesobench import run_meso_bench, write_meso_bench
 from .parallel import RunSpec, execute_specs, execute_tasks, resolve_jobs
 from .profiling import profile_report, profile_run
 from .protocolbench import run_protocol_bench, write_protocol_bench
@@ -71,6 +73,9 @@ __all__ = [
     "write_kernel_bench",
     "run_protocol_bench",
     "write_protocol_bench",
+    "MesoConfig",
+    "run_meso_bench",
+    "write_meso_bench",
     "RunSpec",
     "execute_specs",
     "execute_tasks",

@@ -1,0 +1,66 @@
+"""Shared helpers for the ``bench`` artifact files.
+
+Every benchmark JSON (``BENCH_kernel.json``, ``BENCH_protocol.json``,
+``BENCH_meso.json``) records a **host fingerprint** — python version,
+platform string, CPU count — so a gate failure can be attributed: a
+regression on the *same* host is a lost optimisation, while a shortfall
+against a baseline recorded on *different* hardware may just be the
+hardware.  ``--check`` prints a warning when the baseline's fingerprint
+differs from the current host.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from typing import List, Optional
+
+__all__ = ["host_fingerprint", "fingerprint_mismatch", "warn_on_foreign_baseline"]
+
+
+def host_fingerprint() -> dict:
+    """Identify the machine producing a benchmark artifact."""
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 0,
+    }
+
+
+def fingerprint_mismatch(
+    current: dict, baseline: Optional[dict]
+) -> List[str]:
+    """Fields on which ``baseline``'s host differs from ``current``.
+
+    An empty list means "same host as far as we can tell"; a baseline
+    with no recorded fingerprint (pre-fingerprint artifacts) reports
+    every field as unknown-vs-current so the warning still fires.
+    """
+    if not baseline:
+        return ["%s (baseline has no host fingerprint)" % key for key in current]
+    return [
+        "%s: %r != baseline %r" % (key, current[key], baseline.get(key))
+        for key in current
+        if baseline.get(key) != current[key]
+    ]
+
+
+def warn_on_foreign_baseline(record: dict, baseline: Optional[dict]) -> None:
+    """Print the cross-host warning a ``--check`` comparison deserves.
+
+    ``record`` is the freshly produced benchmark record (carrying its
+    own ``host`` fingerprint); ``baseline`` is the loaded baseline file,
+    or None when there is nothing to compare against (no warning then —
+    without a baseline the gate has nothing to misattribute).
+    """
+    if baseline is None:
+        return
+    mismatches = fingerprint_mismatch(
+        record.get("host") or host_fingerprint(), baseline.get("host")
+    )
+    if mismatches:
+        print(
+            "BENCH WARNING: baseline was recorded on a different host "
+            "(%s); treat absolute events/sec gaps as hardware variance, "
+            "not regressions" % "; ".join(mismatches)
+        )

@@ -17,6 +17,7 @@ Beyond the paper's figures, three instrumentation commands::
     python -m repro.experiments soak               # CI gate: BENCH_soak.json
     python -m repro.experiments bench kernel       # kernel dispatch benchmark
     python -m repro.experiments bench protocol     # protocol hot-path benchmark
+    python -m repro.experiments bench meso         # mesoscale speed+accuracy gate
 
 Sweeps fan out across worker processes: ``--jobs N`` (or the
 ``REPRO_JOBS`` environment variable) sets the worker count, default
@@ -211,6 +212,18 @@ def _cmd_soak(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.what == "meso":
+        from .mesobench import (
+            DEFAULT_BASELINE_PATH as meso_baseline,
+            write_meso_bench,
+        )
+
+        return write_meso_bench(
+            output=args.output or "BENCH_meso.json",
+            baseline_path=args.baseline or meso_baseline,
+            repeat=args.repeat,
+            check=args.check,
+        )
     if args.what == "protocol":
         from .protocolbench import (
             DEFAULT_BASELINE_PATH as protocol_baseline,
@@ -461,9 +474,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench = sub.add_parser(
         "bench",
         help="microbenchmarks; `bench kernel` writes BENCH_kernel.json, "
-        "`bench protocol` writes BENCH_protocol.json",
+        "`bench protocol` writes BENCH_protocol.json, `bench meso` "
+        "writes BENCH_meso.json (meso speed + accuracy gate)",
     )
-    bench.add_argument("what", choices=["kernel", "protocol"],
+    bench.add_argument("what", choices=["kernel", "protocol", "meso"],
                        help="which benchmark to run")
     bench.add_argument("--output", default=None,
                        help="where to write the benchmark artifact "
@@ -474,8 +488,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("--repeat", type=int, default=3,
                        help="repetitions per workload (best wall kept)")
     bench.add_argument("--check", action="store_true",
-                       help="fail (exit 1) when events/sec regresses more "
-                       "than 20%% below the baseline")
+                       help="fail (exit 1) when events/sec regresses below "
+                       "the baseline floor (meso: also when accuracy drifts "
+                       "past its documented tolerances)")
 
     explore = sub.add_parser(
         "explore",

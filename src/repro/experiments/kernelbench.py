@@ -43,6 +43,7 @@ from typing import Optional, Tuple
 from repro.sim import Simulator
 from repro.sim.resources import Core
 
+from .benchutil import host_fingerprint, warn_on_foreign_baseline
 from .scale import SMOKE
 from .scenario import Scenario, run as run_scenario
 
@@ -162,6 +163,7 @@ def run_kernel_bench(repeat: int = 3, baseline_path: Optional[str] = None) -> di
     record = {
         "schema": "rbft-bench-kernel/1",
         "repeat": repeat,
+        "host": host_fingerprint(),
         # Headline: the storm's pure kernel-dispatch rate (see module doc).
         "events_per_sec": round(storm_eps, 1),
         "wall_clock_s": round(storm_wall + fig7_wall, 4),
@@ -220,6 +222,8 @@ def write_kernel_bench(
 ) -> int:
     """Run, write the artifact, print a summary; non-zero on regression."""
     record = run_kernel_bench(repeat=repeat, baseline_path=baseline_path)
+    if check:
+        warn_on_foreign_baseline(record, _load_baseline(baseline_path))
     violation = check_regression(record) if check else None
     record["violations"] = [violation] if violation else []
     with open(output, "w", encoding="utf-8") as fileobj:

@@ -1,0 +1,244 @@
+"""Mesoscale fast-forward: hybrid exact/analytic execution.
+
+Saturated fault-free runs spend most of their simulated time in steady
+state: the offered rate is constant, queues are stationary, and every
+event is statistically like the last one.  Exact discrete-event
+simulation grinds through all of them; the mesoscale controller instead
+**deletes** windows it can prove are steady, jumping the clock with
+:meth:`repro.sim.engine.Simulator.fast_forward` and shifting every piece
+of absolute-time state (cores, NICs, channels, protocol memos, client
+send times) so the simulation resumes as if the window had simply never
+been scheduled.  The spans that *are* simulated remain exact and — the
+load being stationary — are unbiased samples of the deleted windows, so
+throughput and latency are measured over the **effective window**
+(duration − warmup − skipped time) with no synthetic samples injected.
+
+Detection is conservative, driven by the calibrated cost models rather
+than guesswork:
+
+* **stationarity** — consecutive probe windows must agree on executed
+  rate, completion rate and mean latency within ``tolerance``, with no
+  instance change and no NIC closure inside the window;
+* **queueing guard** — every allocated core's utilisation over the
+  window (``Δbusy_time / Δt``, i.e. the CryptoCostModel's charged work)
+  and every NIC direction's byte rate against its configured bandwidth
+  must stay below ``rho_max``: a resource near saturation has growing
+  queues, and deleting time under growth would bias latency;
+* **horizon** — a jump never crosses a :class:`RateProfile` boundary or
+  the end of the run; it lands ``tail`` seconds short so the simulation
+  re-enters exact mode *before* anything changes, and the controller
+  re-verifies stationarity from scratch after every jump.
+
+Eligibility is checked once per run (see :func:`eligibility`): exact
+mode remains the default and the only mode used when an attack is
+armed, tracing is attached, the rate profile has unknown boundaries, or
+the protocol's node class does not implement ``time_shift`` (only the
+RBFT node does; Spinning's mutable primary selector, and the PBFT /
+Aardvark / Prime baselines, fall back to exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["MesoConfig", "MesoController", "eligibility"]
+
+
+@dataclass(frozen=True)
+class MesoConfig:
+    """Tuning knobs of the mesoscale controller."""
+
+    #: length of one stationarity probe window (simulated seconds).
+    probe_window: float = 0.05
+    #: maximum relative disagreement between consecutive windows'
+    #: executed rate / completion rate / mean latency.
+    tolerance: float = 0.15
+    #: utilisation ceiling for the queueing guard: any core or NIC
+    #: direction busier than this fraction of the window blocks the jump.
+    rho_max: float = 0.95
+    #: consecutive *agreeing* window pairs required before jumping.
+    calibration: int = 2
+    #: seconds of exact simulation kept before each horizon (a rate
+    #: boundary or the end of the run).
+    tail: float = 0.05
+    #: jumps shorter than this are not worth the state shift.
+    min_skip: float = 0.05
+
+
+def eligibility(deployment, profile) -> Optional[str]:
+    """Why this run cannot fast-forward, or None when it can.
+
+    The attack check lives in the caller (:func:`repro.experiments
+    .scenario.run` knows the scenario's attack before installing it);
+    everything observable from the deployment is checked here.
+    """
+    tracer = deployment.sim.tracer
+    if tracer is not None:
+        return "tracing attached"
+    if profile.boundaries is None:
+        return "rate profile has unknown boundaries"
+    for node in deployment.nodes:
+        if not hasattr(node, "time_shift"):
+            return "node class %s is not fast-forwardable" % type(node).__name__
+    for client in deployment.clients:
+        if not hasattr(client, "time_shift"):
+            return (
+                "client class %s is not fast-forwardable" % type(client).__name__
+            )
+    return None
+
+
+class MesoController:
+    """Probes for steady state and performs the clock jumps."""
+
+    def __init__(
+        self,
+        deployment,
+        generator,
+        profile,
+        duration: float,
+        warmup: float,
+        config: MesoConfig,
+    ):
+        self.sim = deployment.sim
+        self.cluster = deployment.cluster
+        self.nodes = deployment.nodes
+        self.generator = generator
+        self.clients = generator.clients
+        self.duration = duration
+        self.config = config
+        #: total simulated time deleted, and number of jumps taken.
+        self.skipped_time = 0.0
+        self.jumps = 0
+        # Rate-change horizons, absolute (the generator starts at t=0).
+        self._boundaries: Tuple[float, ...] = tuple(
+            sorted(b for b in (profile.boundaries or ()) if 0.0 < b < duration)
+        )
+        # Flat hot-state arrays for the queueing guard: every allocated
+        # core, and every NIC deduplicated by identity (shared NICs
+        # appear behind several attachment points).
+        cores = []
+        nics = {}
+        for machine in self.cluster.machines:
+            cores.extend(machine.cores.cores[: machine.cores.allocated])
+            nics[id(machine.client_nic)] = machine.client_nic
+            for nic in machine.peer_nics.values():
+                nics[id(nic)] = nic
+        for port in self.cluster.clients.values():
+            nics[id(port.nic)] = port.nic
+        self._cores = cores
+        self._nics = list(nics.values())
+        self._prev_snapshot = None
+        self._last_stats = None
+        self._streak = 0
+        self._first_tick_at = warmup + config.probe_window
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Arm the probe; ticks start one window after warmup."""
+        if self._first_tick_at < self.duration:
+            self.sim.call_at(self._first_tick_at, self._tick)
+
+    # -------------------------------------------------------------- sampling
+    def _snapshot(self):
+        """Cumulative counters whose deltas describe one probe window."""
+        lat_total = 0.0
+        lat_count = 0
+        for client in self.clients:
+            recorder = client.latencies
+            lat_total += recorder.total
+            lat_count += recorder.count
+        return (
+            max(node.executed_count for node in self.nodes),
+            self.generator.total_completed(),
+            lat_total,
+            lat_count,
+            sum(getattr(node, "instance_changes", 0) for node in self.nodes),
+            sum(getattr(node, "nics_closed", 0) for node in self.nodes),
+            [core.busy_time for core in self._cores],
+            [nic.bytes_tx for nic in self._nics],
+            [nic.bytes_rx for nic in self._nics],
+        )
+
+    def _window_stats(self, prev, cur) -> Optional[Tuple[float, float, float]]:
+        """(executed rate, completion rate, mean latency) over one window,
+        or None when a guard rules the window out entirely."""
+        if cur[4] != prev[4] or cur[5] != prev[5]:
+            return None  # instance change or NIC closure inside the window
+        window = self.config.probe_window
+        d_exec = cur[0] - prev[0]
+        d_comp = cur[1] - prev[1]
+        d_lat_n = cur[3] - prev[3]
+        if d_exec <= 0 or d_comp <= 0 or d_lat_n <= 0:
+            return None  # stalled or idle: nothing safe to extrapolate
+        # Queueing guard on the calibrated cost models: charged CPU work
+        # per core, and bytes per NIC direction against its bandwidth.
+        budget = self.config.rho_max * window
+        for busy, busy_was in zip(cur[6], prev[6]):
+            if busy - busy_was > budget:
+                return None
+        for tx, tx_was, rx, rx_was, nic in zip(
+            cur[7], prev[7], cur[8], prev[8], self._nics
+        ):
+            byte_budget = budget * nic.bandwidth
+            if tx - tx_was > byte_budget or rx - rx_was > byte_budget:
+                return None
+        return (
+            d_exec / window,
+            d_comp / window,
+            (cur[2] - prev[2]) / d_lat_n,
+        )
+
+    def _close(self, a, b) -> bool:
+        tolerance = self.config.tolerance
+        for x, y in zip(a, b):
+            hi = x if x > y else y
+            if hi <= 0.0 or abs(x - y) > tolerance * hi:
+                return False
+        return True
+
+    # ------------------------------------------------------------- the tick
+    def _tick(self) -> None:
+        sim = self.sim
+        now = sim.now
+        window = self.config.probe_window
+        cur = self._snapshot()
+        prev, self._prev_snapshot = self._prev_snapshot, cur
+        stats = self._window_stats(prev, cur) if prev is not None else None
+        last, self._last_stats = self._last_stats, stats
+        if stats is not None and last is not None and self._close(stats, last):
+            self._streak += 1
+        else:
+            self._streak = 0
+        if self._streak >= self.config.calibration:
+            dt = self._skip_span(now)
+            if dt > 0.0:
+                # Reschedule *before* jumping: the pending tick shifts
+                # with the heap and re-verifies one window after landing.
+                sim.call_after(window, self._tick)
+                sim.fast_forward(dt)
+                self.cluster.time_shift(dt)
+                for node in self.nodes:
+                    node.time_shift(dt)
+                for client in self.clients:
+                    client.time_shift(dt)
+                self.skipped_time += dt
+                self.jumps += 1
+                self._streak = 0
+                self._prev_snapshot = None
+                self._last_stats = None
+                return
+        if now + window < self.duration:
+            sim.call_after(window, self._tick)
+
+    def _skip_span(self, now: float) -> float:
+        """How far ahead the clock may jump from ``now``, or 0."""
+        horizon = self.duration
+        for boundary in self._boundaries:
+            if boundary > now:
+                if boundary < horizon:
+                    horizon = boundary
+                break
+        dt = (horizon - self.config.tail) - now
+        return dt if dt >= self.config.min_skip else 0.0

@@ -1,0 +1,281 @@
+"""Mesoscale benchmark + accuracy gate: ``bench meso``.
+
+Where ``bench kernel`` measures raw dispatch and ``bench protocol`` the
+per-message hot path, this benchmark measures what the **mesoscale
+fast-forward** mode (docs/simulator.md, "Execution modes") buys on a
+steady-state-heavy workload — and polices that the speed does not come
+at the price of accuracy.
+
+One fixed-seed, fixed-rate fig7-style workload (fault-free RBFT at a
+pinned offered load, stretched to a long steady-state plateau) runs
+twice:
+
+* the **exact twin** — ``mode="exact"``, every event simulated; its
+  event count is the amount of work a full-fidelity run represents;
+* the **meso run** — ``mode="meso"``; the controller deletes the
+  steady-state plateau and simulates only warmup, probe windows and the
+  tail.
+
+The headline ``events_per_sec`` is **effective**: the exact twin's
+event count divided by the meso run's wall clock — how fast mesoscale
+chews through full-fidelity work.  It is compared against the *fig7*
+rate in ``benchmarks/kernel_baseline.json`` (the same steady-state
+workload family measured when the baseline was recorded).
+
+``--check`` gates on three things:
+
+* the meso run actually fast-forwarded (``ff_time > 0``) and its wall
+  clock beat the exact twin by at least ``MESO_SPEEDUP_FLOOR``;
+* effective events/sec is at least ``MESO_SPEEDUP_FLOOR`` × the
+  baseline's fig7 events/sec;
+* accuracy: meso throughput within ``THROUGHPUT_TOLERANCE``, mean
+  latency within ``LATENCY_TOLERANCE`` and p99 latency within
+  ``P99_TOLERANCE`` of the exact twin (relative).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Optional, Tuple
+
+from .benchutil import host_fingerprint, warn_on_foreign_baseline
+from .scale import SMOKE
+
+__all__ = [
+    "DEFAULT_BASELINE_PATH",
+    "MESO_SPEEDUP_FLOOR",
+    "THROUGHPUT_TOLERANCE",
+    "LATENCY_TOLERANCE",
+    "P99_TOLERANCE",
+    "run_meso_bench",
+    "write_meso_bench",
+]
+
+#: compared against the *kernel* baseline: effective events/sec must
+#: beat the fig7 rate recorded there (the same workload family).
+DEFAULT_BASELINE_PATH = os.path.join("benchmarks", "kernel_baseline.json")
+
+#: the meso mode must at least double throughput on steady-state-heavy
+#: workloads — both against the exact twin's wall clock on this machine
+#: and against the baseline's fig7 events/sec.
+MESO_SPEEDUP_FLOOR = 2.0
+
+#: relative accuracy tolerances of the meso run against its exact twin
+#: (documented in docs/simulator.md; the measured errors are well under
+#: 1 %, the gates catch a broken detector, not percent drift).
+THROUGHPUT_TOLERANCE = 0.05
+LATENCY_TOLERANCE = 0.10
+P99_TOLERANCE = 0.15
+
+#: fixed workload — same protocol/rate family as ``bench kernel``'s
+#: fig7 point, stretched so steady state dominates the run.
+MESO_RATE = 18_000.0
+MESO_DURATION = 2.4
+MESO_WARMUP = 0.3
+MESO_SEED = 0
+
+
+def _meso_point(mode: str) -> Tuple[object, float]:
+    """One run of the workload; return (RunResult, wall clock)."""
+    from .scenario import Scenario, run
+
+    scenario = Scenario(
+        protocol="rbft",
+        payload=8,
+        rate=MESO_RATE,
+        seed=MESO_SEED,
+        scale=SMOKE,
+        duration=MESO_DURATION,
+        warmup=MESO_WARMUP,
+        mode=mode,
+    )
+    start = time.perf_counter()
+    result = run(scenario)
+    wall = time.perf_counter() - start
+    return result, wall
+
+
+def _load_baseline(path: Optional[str]) -> Optional[dict]:
+    if not path or not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as fileobj:
+            return json.load(fileobj)
+    except (OSError, ValueError):
+        return None
+
+
+def _rel_err(got: float, want: float) -> float:
+    if want == 0.0:
+        return 0.0 if got == 0.0 else float("inf")
+    return abs(got - want) / abs(want)
+
+
+def run_meso_bench(repeat: int = 2, baseline_path: Optional[str] = None) -> dict:
+    """Run exact twin + meso run ``repeat`` times; keep the best walls.
+
+    Both modes are deterministic given the scenario, so event counts
+    (and every measured rate) must be identical across repeats — a
+    varying count means determinism broke in that mode.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    exact, exact_wall = _meso_point("exact")
+    meso, meso_wall = _meso_point("meso")
+    for _ in range(repeat - 1):
+        again, wall = _meso_point("exact")
+        if again.events != exact.events:
+            raise RuntimeError(
+                "exact twin dispatched %d events, expected %d — "
+                "determinism broke" % (again.events, exact.events)
+            )
+        exact_wall = min(exact_wall, wall)
+        again, wall = _meso_point("meso")
+        if again.events != meso.events:
+            raise RuntimeError(
+                "meso run dispatched %d events, expected %d — meso "
+                "determinism broke" % (again.events, meso.events)
+            )
+        meso_wall = min(meso_wall, wall)
+
+    effective_eps = exact.events / meso_wall if meso_wall > 0 else 0.0
+    record = {
+        "schema": "rbft-bench-meso/1",
+        "repeat": repeat,
+        "seed": MESO_SEED,
+        "host": host_fingerprint(),
+        # Headline: full-fidelity work per wall-clock second of meso.
+        "events_per_sec": round(effective_eps, 1),
+        "wall_clock_s": round(exact_wall + meso_wall, 4),
+        "meso_speedup": round(
+            exact_wall / meso_wall if meso_wall > 0 else 0.0, 3
+        ),
+        "workload": {
+            "protocol": "rbft",
+            "offered_rps": MESO_RATE,
+            "duration_s": MESO_DURATION,
+            "warmup_s": MESO_WARMUP,
+        },
+        "exact": {
+            "events": exact.events,
+            "wall_clock_s": round(exact_wall, 4),
+            "events_per_sec": round(
+                exact.events / exact_wall if exact_wall > 0 else 0.0, 1
+            ),
+            "throughput_rps": round(exact.executed_rate, 1),
+            "mean_latency_ms": round(exact.mean_latency * 1e3, 4),
+            "p99_latency_ms": round(exact.p99_latency * 1e3, 4),
+        },
+        "meso": {
+            "events": meso.events,
+            "wall_clock_s": round(meso_wall, 4),
+            "ff_time_s": round(meso.ff_time, 4),
+            "ff_windows": meso.ff_windows,
+            "fallback": meso.meso_fallback,
+            "throughput_rps": round(meso.executed_rate, 1),
+            "mean_latency_ms": round(meso.mean_latency * 1e3, 4),
+            "p99_latency_ms": round(meso.p99_latency * 1e3, 4),
+        },
+        "accuracy": {
+            "throughput_rel_err": round(
+                _rel_err(meso.executed_rate, exact.executed_rate), 5
+            ),
+            "mean_latency_rel_err": round(
+                _rel_err(meso.mean_latency, exact.mean_latency), 5
+            ),
+            "p99_latency_rel_err": round(
+                _rel_err(meso.p99_latency, exact.p99_latency), 5
+            ),
+            "throughput_tolerance": THROUGHPUT_TOLERANCE,
+            "mean_latency_tolerance": LATENCY_TOLERANCE,
+            "p99_latency_tolerance": P99_TOLERANCE,
+        },
+    }
+    baseline = _load_baseline(baseline_path)
+    fig7_base = (baseline or {}).get("fig7", {}).get("events_per_sec")
+    if fig7_base:
+        record["baseline"] = {
+            "path": baseline_path,
+            "fig7_events_per_sec": fig7_base,
+            "recorded": baseline.get("recorded", "pre-fast-path kernel"),
+        }
+        record["speedup"] = round(effective_eps / fig7_base, 3)
+    return record
+
+
+def check_regression(record: dict) -> Optional[str]:
+    """Return a violation message when the meso gate fails, else None."""
+    meso = record["meso"]
+    if meso.get("fallback"):
+        return "meso run fell back to exact: %s" % meso["fallback"]
+    if meso.get("ff_time_s", 0.0) <= 0.0:
+        return "meso run never fast-forwarded (steady state not detected)"
+    accuracy = record["accuracy"]
+    for key, tolerance in (
+        ("throughput", THROUGHPUT_TOLERANCE),
+        ("mean_latency", LATENCY_TOLERANCE),
+        ("p99_latency", P99_TOLERANCE),
+    ):
+        err = accuracy["%s_rel_err" % key]
+        if err > tolerance:
+            return (
+                "meso %s diverged %.1f%% from the exact twin "
+                "(tolerance %.0f%%)" % (key, err * 100, tolerance * 100)
+            )
+    if record["meso_speedup"] < MESO_SPEEDUP_FLOOR:
+        return (
+            "meso wall-clock speedup %.2fx below the %.1fx floor "
+            "(exact twin %.2fs vs meso %.2fs)"
+            % (
+                record["meso_speedup"],
+                MESO_SPEEDUP_FLOOR,
+                record["exact"]["wall_clock_s"],
+                record["meso"]["wall_clock_s"],
+            )
+        )
+    speedup = record.get("speedup")
+    if speedup is not None and speedup < MESO_SPEEDUP_FLOOR:
+        return (
+            "effective events/sec %.0f is only %.2fx the baseline fig7 "
+            "rate (floor %.1fx)"
+            % (record["events_per_sec"], speedup, MESO_SPEEDUP_FLOOR)
+        )
+    return None
+
+
+def write_meso_bench(
+    output: str = "BENCH_meso.json",
+    baseline_path: Optional[str] = DEFAULT_BASELINE_PATH,
+    repeat: int = 2,
+    check: bool = False,
+) -> int:
+    """Run, write the artifact, print a summary; non-zero on gate failure."""
+    record = run_meso_bench(repeat=repeat, baseline_path=baseline_path)
+    if check:
+        warn_on_foreign_baseline(record, _load_baseline(baseline_path))
+    violation = check_regression(record) if check else None
+    record["violations"] = [violation] if violation else []
+    with open(output, "w", encoding="utf-8") as fileobj:
+        json.dump(record, fileobj, indent=2, sort_keys=True)
+        fileobj.write("\n")
+    speedup = record.get("speedup")
+    print(
+        "bench meso: %.0f effective events/s | meso %.2fx vs exact twin | "
+        "ff %.2fs/%d jumps | tp err %.2f%% lat err %.2f%%%s -> %s"
+        % (
+            record["events_per_sec"],
+            record["meso_speedup"],
+            record["meso"]["ff_time_s"],
+            record["meso"]["ff_windows"],
+            record["accuracy"]["throughput_rel_err"] * 100,
+            record["accuracy"]["mean_latency_rel_err"] * 100,
+            " | %.2fx vs baseline fig7" % speedup if speedup else "",
+            output,
+        )
+    )
+    if violation:
+        print("BENCH REGRESSION: %s" % violation)
+        return 1
+    return 0

@@ -36,6 +36,7 @@ import os
 import time
 from typing import Optional, Tuple
 
+from .benchutil import host_fingerprint, warn_on_foreign_baseline
 from .scale import SMOKE
 
 __all__ = [
@@ -123,6 +124,7 @@ def run_protocol_bench(
         "schema": "rbft-bench-protocol/1",
         "repeat": repeat,
         "seed": BENCH_SEED,
+        "host": host_fingerprint(),
         # Headline: combined dispatch rate over both protocol workloads.
         "events_per_sec": round(eps, 1),
         "wall_clock_s": round(total_wall, 4),
@@ -209,6 +211,8 @@ def write_protocol_bench(
 ) -> int:
     """Run, write the artifact, print a summary; non-zero on regression."""
     record = run_protocol_bench(repeat=repeat, baseline_path=baseline_path)
+    if check:
+        warn_on_foreign_baseline(record, _load_baseline(baseline_path))
     violation = check_regression(record) if check else None
     record["violations"] = [violation] if violation else []
     with open(output, "w", encoding="utf-8") as fileobj:

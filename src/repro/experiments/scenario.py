@@ -35,6 +35,9 @@ __all__ = ["Scenario", "run"]
 #: load-profile shapes a scenario can request.
 _LOADS = ("static", "dynamic")
 
+#: execution modes a scenario can request.
+_MODES = ("exact", "meso")
+
 
 @dataclass(frozen=True)
 class Scenario:
@@ -70,11 +73,23 @@ class Scenario:
     #: (the soak harness's bounded-memory assertion).  Tracing stays
     #: off — and the result byte-identical — when False.
     track_log_sizes: bool = False
+    #: execution mode: "exact" (the default — every event simulated,
+    #: seeded runs byte-identical) or "meso" (opt-in mesoscale
+    #: fast-forward of fault-free steady-state windows; an approximation
+    #: with its own determinism, see docs/simulator.md).  A "meso"
+    #: scenario that is ineligible — attack armed, tracing attached,
+    #: non-fast-forwardable protocol — silently runs exact and records
+    #: the reason in ``RunResult.meso_fallback``.
+    mode: str = "exact"
 
     def __post_init__(self):
         if self.load not in _LOADS:
             raise ValueError(
                 "unknown load %r (expected one of %s)" % (self.load, _LOADS)
+            )
+        if self.mode not in _MODES:
+            raise ValueError(
+                "unknown mode %r (expected one of %s)" % (self.mode, _MODES)
             )
 
     def with_(self, **changes) -> "Scenario":
@@ -160,6 +175,17 @@ def run(scenario: Scenario):
             "prime", "aardvark", "spinning"
         ):
             faulty_nodes = [deployment.nodes[0]]
+    meso_config = None
+    meso_fallback = None
+    if scenario.mode == "meso":
+        from .meso import MesoConfig, eligibility
+
+        if attack_name is not None:
+            meso_fallback = "attack %r armed" % attack_name
+        else:
+            meso_fallback = eligibility(deployment, profile)
+        if meso_fallback is None:
+            meso_config = MesoConfig()
     result = _execute_run(
         deployment,
         profile,
@@ -167,7 +193,9 @@ def run(scenario: Scenario):
         warmup=warmup,
         send_kwargs=send_kwargs,
         faulty_nodes=faulty_nodes,
+        meso=meso_config,
     )
+    result.meso_fallback = meso_fallback
     result.protocol = scenario.protocol
     result.payload = scenario.payload
     result.offered_rate = offered

@@ -195,6 +195,57 @@ class Channel:
             sim._seq = seq = sim._seq + 1
             heappush(sim._heap, (deliver_at, seq, self.handler, (msg,)))
 
+    def time_shift(self, dt: float) -> None:
+        """Shift the FIFO clamp after a mesoscale clock jump."""
+        self._last_delivery += dt
+
+    def _deliver_untraced(self, msg: Message, tx_done: float, size: int) -> None:
+        """``_deliver_from`` specialised for the untraced case.
+
+        :meth:`Network.broadcast`/:meth:`Network.multicast` hoist the
+        tracer check once per fan-out and route every channel of an
+        untraced batch here: same arithmetic, same RNG draw order, same
+        NIC accounting as ``_deliver_from``, with the per-message tracer
+        lookups and emit branches removed.
+        """
+        sim = self._sim
+        arrival = tx_done + self._latency
+        rng = self._rng
+        jitter = self._jitter
+        if jitter > 0:
+            arrival += rng.random() * jitter
+        tcp = self.tcp
+        copies = 1
+        if tcp:
+            arrival += self._tcp_overhead
+        else:
+            if self._udp_loss > 0 and rng.random() < self._udp_loss:
+                self.dropped += 1
+                return
+            if self._udp_duplicate > 0 and rng.random() < self._udp_duplicate:
+                copies = 2
+                self.duplicated += 1
+        dst_nic = self.dst_nic
+        if arrival < dst_nic.closed_until:
+            # note_dropped inlined (its trace emit is dead here).
+            dst_nic.dropped_while_closed += 1
+            self.dropped += 1
+            return
+        bandwidth = dst_nic.bandwidth
+        for _ in range(copies):
+            rx_free = dst_nic.rx_free_at
+            start = arrival if arrival > rx_free else rx_free
+            deliver_at = start + size / bandwidth
+            dst_nic.rx_free_at = deliver_at
+            dst_nic.bytes_rx += size
+            dst_nic.msgs_rx += 1
+            if tcp and deliver_at < self._last_delivery:
+                deliver_at = self._last_delivery  # FIFO guarantee
+            self._last_delivery = deliver_at
+            self.delivered += 1
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._heap, (deliver_at, seq, self.handler, (msg,)))
+
     def __repr__(self) -> str:
         return "Channel(%s->%s, %s)" % (self.src, self.dst, "tcp" if self.tcp else "udp")
 
@@ -238,8 +289,14 @@ class Network:
             return
         size = msg.wire_size()
         tx_done = channels[0].src_nic.reserve_tx(size)
-        for channel in channels:
-            channel._deliver_from(msg, tx_done, size)
+        sim = channels[0]._sim
+        tracer = sim.tracer
+        if tracer is not None and tracer.enabled:
+            for channel in channels:
+                channel._deliver_from(msg, tx_done, size)
+        else:
+            for channel in channels:
+                channel._deliver_untraced(msg, tx_done, size)
 
     @staticmethod
     def broadcast(channels: Iterable[Channel], msg: Message) -> None:
@@ -249,9 +306,13 @@ class Network:
         channel pays its own transmission, but the wire size — a pure
         function of the message — is computed once for the whole batch.
         Channels carrying a fault-injection intercept hand the message
-        to their hook, exactly as ``send`` would.
+        to their hook, exactly as ``send`` would.  The tracer check is
+        hoisted once per fan-out: the untraced batch inlines the
+        ``reserve_tx`` arithmetic per channel (same accounting, same RNG
+        draw order) and delivers through ``_deliver_untraced``.
         """
         size = None
+        tracing = sim = None
         for channel in channels:
             hook = channel.intercept
             if hook is not None:
@@ -259,4 +320,20 @@ class Network:
                 continue
             if size is None:
                 size = msg.wire_size()
-            channel._deliver_from(msg, channel.src_nic.reserve_tx(size), size)
+                sim = channel._sim
+                tracer = sim.tracer
+                tracing = tracer is not None and tracer.enabled
+            if tracing:
+                channel._deliver_from(msg, channel.src_nic.reserve_tx(size), size)
+            else:
+                # reserve_tx inlined (sans trace emit): one call frame
+                # less per channel of the fan-out.
+                nic = channel.src_nic
+                now = sim.now
+                free = nic.tx_free_at
+                start = now if now > free else free
+                tx_done = start + size / nic.bandwidth
+                nic.tx_free_at = tx_done
+                nic.bytes_tx += size
+                nic.msgs_tx += 1
+                channel._deliver_untraced(msg, tx_done, size)

@@ -7,9 +7,23 @@ callback-driven (they schedule work on :class:`repro.sim.resources.Core`
 objects), while load generators and attack scripts are written as
 generator processes.
 
-Determinism: the queue breaks time ties with a monotonically increasing
-sequence number, so two runs with the same seed replay the exact same
-schedule.
+Determinism — the ``(time, seq, ...)`` ordering contract
+--------------------------------------------------------
+Every heap entry starts with ``(time, seq)`` where ``seq`` is drawn from
+a single monotonically increasing counter shared by *all* scheduling
+entry points (:meth:`Simulator.call_at`, :meth:`Simulator.call_soon`,
+:meth:`Simulator.call_anon`, event triggering, ``Timeout``).  The heap
+therefore yields entries ordered by time first and, within one
+timestamp, by **schedule order** — strict FIFO among ties, regardless of
+whether the entry is a :class:`Handle`, an :class:`Event` or an
+anonymous fast-path callable.  Two runs with the same seed replay the
+exact same schedule, and callers may rely on same-timestamp callbacks
+firing in the order they were scheduled.  The sequence number is unique,
+so tuple comparison never reaches the heterogeneous third element.
+Anything that re-orders same-timestamp entries (including the batched
+clock update below and :meth:`Simulator.fast_forward`) must preserve
+this contract; ``tests/sim/test_engine.py`` pins it for both the traced
+and untraced loops.
 
 Performance: every heap entry is a 4-tuple ``(time, seq, target, args)``.
 ``args is None`` marks a :class:`Handle` or :class:`Event` target, which
@@ -18,9 +32,17 @@ a bare callable invoked as ``target(*args)`` — the *anonymous fast path*
 used by schedulers that never need to cancel (core completions, channel
 deliveries, process resumption).  The fast path skips the Handle
 allocation, its ``__init__`` frame and the cancelled/done bookkeeping,
-which together dominate per-event cost in saturated runs.  The sequence
-number is unique, so tuple comparison never reaches the heterogeneous
-third element.
+which together dominate per-event cost in saturated runs.
+
+Batched event execution: saturated protocol runs cluster many entries on
+one timestamp (a broadcast's fan-out, a core draining its backlog).  The
+untraced run loop exploits this by keeping the current batch timestamp
+in a local and touching ``self.now`` and the ``until`` limit check only
+when the popped entry's time *changes* — same-timestamp entries drain
+back-to-back with one clock update per batch.  Entries scheduled from
+inside a batch at the current time carry higher sequence numbers, so
+they join the tail of the same batch; ordering is identical to the
+per-entry loop.
 """
 
 from __future__ import annotations
@@ -417,13 +439,23 @@ class Simulator:
                 # The hot loop: pop once (no peek-then-pop double heap
                 # traversal); a popped entry beyond the limit is pushed
                 # back, which happens at most once per run() call.
+                #
+                # Batched clock update: `now` starts at a sentinel below
+                # any schedulable time, so the first popped entry always
+                # takes the time-change branch (limit check + clock
+                # store).  Subsequent entries at the same timestamp skip
+                # both — they are the tail of the current batch.  After
+                # fast_forward() shifts the heap mid-run the stale local
+                # re-triggers the time-change branch naturally.
+                now = float("-inf")
                 while heap:
                     entry = pop(heap)
                     time = entry[0]
-                    if time > limit:
-                        push(heap, entry)
-                        break
-                    self.now = time
+                    if time != now:
+                        if time > limit:
+                            push(heap, entry)
+                            break
+                        self.now = now = time
                     count += 1
                     args = entry[3]
                     if args is None:
@@ -435,6 +467,31 @@ class Simulator:
             self.dispatched = count
         if until is not None and self.now < until:
             self.now = until
+
+    def fast_forward(self, dt: float) -> None:
+        """Jump the clock forward by ``dt``, shifting every pending entry.
+
+        The mesoscale controller (:mod:`repro.experiments.meso`) uses
+        this to delete a window of steady state: the clock advances by
+        ``dt`` and all pending events move with it, so relative timings
+        — retransmit timers, monitor periods, rate-profile boundaries
+        already on the heap — are preserved exactly.  A uniform shift
+        keeps the heap invariant (no re-heapify) and the relative order
+        of ties (sequence numbers are untouched), so the
+        ``(time, seq, ...)`` contract above survives the jump.
+
+        Safe to call from a callback while :meth:`run` is draining: the
+        shift is done with in-place slice assignment so the run loop's
+        local heap binding still sees it, and its stale batch timestamp
+        makes the next pop take the clock-update branch.
+        """
+        if dt < 0:
+            raise ValueError("cannot fast-forward backwards: %r" % dt)
+        if dt == 0:
+            return
+        heap = self._heap
+        heap[:] = [(t + dt, seq, target, args) for t, seq, target, args in heap]
+        self.now += dt
 
     def peek(self) -> Optional[float]:
         """Return the time of the next pending item, or None."""

@@ -1,0 +1,66 @@
+"""Host fingerprints on benchmark artifacts and the cross-host warning."""
+
+from repro.experiments.benchutil import (
+    fingerprint_mismatch,
+    host_fingerprint,
+    warn_on_foreign_baseline,
+)
+
+
+def test_fingerprint_shape():
+    fp = host_fingerprint()
+    assert set(fp) == {"python", "platform", "cpu_count"}
+    assert isinstance(fp["python"], str) and fp["python"]
+    assert isinstance(fp["platform"], str) and fp["platform"]
+    assert isinstance(fp["cpu_count"], int) and fp["cpu_count"] >= 0
+
+
+def test_fingerprint_is_stable_within_a_process():
+    assert host_fingerprint() == host_fingerprint()
+
+
+def test_same_host_has_no_mismatches():
+    fp = host_fingerprint()
+    assert fingerprint_mismatch(fp, dict(fp)) == []
+
+
+def test_differing_fields_are_named():
+    fp = host_fingerprint()
+    other = dict(fp, python="0.0.0")
+    mismatches = fingerprint_mismatch(fp, other)
+    assert len(mismatches) == 1
+    assert "python" in mismatches[0]
+
+
+def test_missing_baseline_fingerprint_flags_every_field():
+    fp = host_fingerprint()
+    mismatches = fingerprint_mismatch(fp, None)
+    assert len(mismatches) == len(fp)
+    assert all("no host fingerprint" in m for m in mismatches)
+
+
+def test_warning_printed_for_foreign_baseline(capsys):
+    record = {"host": host_fingerprint()}
+    baseline = {"host": dict(host_fingerprint(), cpu_count=-1)}
+    warn_on_foreign_baseline(record, baseline)
+    out = capsys.readouterr().out
+    assert "BENCH WARNING" in out
+    assert "cpu_count" in out
+
+
+def test_no_warning_on_same_host(capsys):
+    record = {"host": host_fingerprint()}
+    warn_on_foreign_baseline(record, {"host": host_fingerprint()})
+    assert capsys.readouterr().out == ""
+
+
+def test_no_warning_without_a_baseline(capsys):
+    warn_on_foreign_baseline({"host": host_fingerprint()}, None)
+    assert capsys.readouterr().out == ""
+
+
+def test_fingerprintless_baseline_still_warns(capsys):
+    """Baselines recorded before fingerprints existed must not silently
+    pass as same-host."""
+    warn_on_foreign_baseline({"host": host_fingerprint()}, {"events_per_sec": 1.0})
+    assert "BENCH WARNING" in capsys.readouterr().out

@@ -1,0 +1,117 @@
+"""Mesoscale fast-forward: accuracy, determinism and fallback rules.
+
+The ``mode="meso"`` contract (docs/simulator.md, "Execution modes"):
+exact stays the default and is byte-identical to the pre-meso kernel;
+meso is opt-in, deletes provably steady windows, and silently falls
+back to exact — with the reason recorded on the result — whenever the
+run is not eligible (faults armed, non-fast-forwardable node class,
+unknown load boundaries, tracing).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import SMOKE, MesoConfig, Scenario, run
+
+#: steady-state-heavy workload, small enough for the unit-test budget.
+MESO_KW = dict(
+    protocol="rbft", rate=1500.0, duration=1.0, warmup=0.2, scale=SMOKE, seed=5
+)
+
+
+def test_scenario_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        Scenario(protocol="rbft", rate=1000.0, mode="approximate")
+
+
+def test_exact_mode_is_the_default():
+    scenario = Scenario(protocol="rbft", rate=1000.0)
+    assert scenario.mode == "exact"
+
+
+def test_exact_result_reports_exact_mode():
+    result = run(Scenario(**MESO_KW))
+    assert result.mode == "exact"
+    assert result.ff_time == 0.0
+    assert result.ff_windows == 0
+    assert result.meso_fallback is None
+
+
+def test_meso_engages_and_skips_steady_state():
+    result = run(Scenario(mode="meso", **MESO_KW))
+    assert result.meso_fallback is None
+    assert result.mode == "meso"
+    assert result.ff_windows >= 1
+    assert result.ff_time > 0.0
+    # Fewer simulated events than the exact twin: that's the point.
+    assert result.events < run(Scenario(**MESO_KW)).events
+
+
+def test_meso_matches_exact_close_to_documented_tolerances():
+    """Throughput gets a wider band here than ``bench meso``'s 5 % gate:
+    arrivals are Poisson, and this deliberately tiny workload leaves only
+    ~375 samples in the non-skipped window (sigma ~5 %), where the bench
+    workload's ~10k samples make 5 % a meaningful bound.  CI enforces the
+    documented tolerances at the bench scale via ``bench meso --check``."""
+    exact = run(Scenario(**MESO_KW))
+    meso = run(Scenario(mode="meso", **MESO_KW))
+    assert meso.executed_rate == pytest.approx(exact.executed_rate, rel=0.15)
+    assert meso.mean_latency == pytest.approx(exact.mean_latency, rel=0.10)
+    assert meso.p99_latency == pytest.approx(exact.p99_latency, rel=0.15)
+
+
+def test_meso_is_deterministic():
+    scenario = Scenario(mode="meso", **MESO_KW)
+    assert run(scenario) == run(scenario)
+
+
+def test_meso_exact_twin_unchanged_by_mode_field():
+    """Adding the mode machinery must not perturb exact runs: a Scenario
+    with mode="exact" equals one built before the field existed (same
+    defaults, same RunResult)."""
+    legacy = run(Scenario(**MESO_KW))
+    explicit = run(Scenario(mode="exact", **MESO_KW))
+    assert legacy == explicit
+
+
+def test_attack_falls_back_to_exact():
+    result = run(Scenario(mode="meso", attack="rbft-worst1", **MESO_KW))
+    assert result.mode == "exact"
+    assert result.ff_time == 0.0
+    assert "rbft-worst1" in result.meso_fallback
+
+
+def test_non_fast_forwardable_protocol_falls_back():
+    result = run(Scenario(
+        mode="meso", protocol="spinning", rate=1500.0, duration=1.0,
+        warmup=0.2, scale=SMOKE, seed=5,
+    ))
+    assert result.mode == "exact"
+    assert "SpinningNode" in result.meso_fallback
+
+
+def test_dynamic_load_still_eligible_but_respects_boundaries():
+    """dynamic_profile publishes its phase boundaries, so meso is
+    eligible but may only skip inside a phase.  At the SMOKE scale the
+    phases are too short for the detector to confirm stationarity, so
+    the run must degrade gracefully to (near-)exact — never jump across
+    a load step."""
+    kw = dict(
+        protocol="rbft", load="dynamic", rate=400.0, scale=SMOKE, seed=2
+    )
+    exact = run(Scenario(**kw))
+    meso = run(Scenario(mode="meso", **kw))
+    assert meso.meso_fallback is None
+    assert meso.mode == "meso"
+    assert meso.executed_rate == pytest.approx(exact.executed_rate, rel=0.05)
+    assert meso.mean_latency == pytest.approx(exact.mean_latency, rel=0.10)
+
+
+def test_meso_config_is_frozen_with_sane_defaults():
+    config = MesoConfig()
+    assert config.probe_window > 0
+    assert 0 < config.rho_max < 1
+    assert config.calibration >= 1
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        config.probe_window = 1.0

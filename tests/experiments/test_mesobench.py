@@ -1,0 +1,136 @@
+"""``bench meso`` record shape and gate logic (no full runs: the real
+benchmark's exact twin takes seconds; these tests monkeypatch the
+workload and drive ``check_regression`` with synthetic records)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.experiments import mesobench
+from repro.experiments.mesobench import (
+    MESO_SPEEDUP_FLOOR,
+    check_regression,
+    run_meso_bench,
+    write_meso_bench,
+)
+
+
+def _fake_result(events, mode):
+    meso = mode == "meso"
+    return SimpleNamespace(
+        events=events,
+        executed_rate=1000.0 if not meso else 1004.0,
+        mean_latency=0.004 if not meso else 0.00401,
+        p99_latency=0.009 if not meso else 0.00905,
+        ff_time=1.5 if meso else 0.0,
+        ff_windows=1 if meso else 0,
+        meso_fallback=None,
+    )
+
+
+@pytest.fixture
+def fake_points(monkeypatch):
+    walls = {"exact": 4.0, "meso": 1.0}
+
+    def fake(mode):
+        return _fake_result(1_000_000 if mode == "exact" else 250_000, mode), walls[mode]
+
+    monkeypatch.setattr(mesobench, "_meso_point", fake)
+    return walls
+
+
+def test_record_shape_and_effective_rate(fake_points, tmp_path):
+    baseline = tmp_path / "kernel_baseline.json"
+    baseline.write_text('{"fig7": {"events_per_sec": 100000.0}}')
+    record = run_meso_bench(repeat=2, baseline_path=str(baseline))
+    assert record["schema"] == "rbft-bench-meso/1"
+    assert set(record["host"]) == {"python", "platform", "cpu_count"}
+    # Effective rate: exact twin's events over the meso run's wall.
+    assert record["events_per_sec"] == pytest.approx(1_000_000 / 1.0)
+    assert record["meso_speedup"] == pytest.approx(4.0)
+    assert record["speedup"] == pytest.approx(10.0)
+    assert record["meso"]["ff_windows"] == 1
+    assert record["accuracy"]["throughput_rel_err"] == pytest.approx(
+        0.004, abs=1e-4
+    )
+    assert check_regression(record) is None
+
+
+def test_write_meso_bench_artifact_and_exit_code(fake_points, tmp_path, capsys):
+    out = tmp_path / "BENCH_meso.json"
+    code = write_meso_bench(
+        output=str(out), baseline_path=None, repeat=1, check=True
+    )
+    assert code == 0
+    assert out.exists()
+    assert "bench meso" in capsys.readouterr().out
+
+
+def test_determinism_breakage_is_detected(monkeypatch):
+    events = iter([1_000_000, 250_000, 1_000_001])
+
+    def fake(mode):
+        return _fake_result(next(events), mode), 1.0
+
+    monkeypatch.setattr(mesobench, "_meso_point", fake)
+    with pytest.raises(RuntimeError):
+        run_meso_bench(repeat=2)
+
+
+def _passing_record():
+    return {
+        "events_per_sec": 1_000_000.0,
+        "meso_speedup": 4.0,
+        "speedup": 5.0,
+        "exact": {"wall_clock_s": 4.0},
+        "meso": {"wall_clock_s": 1.0, "ff_time_s": 1.5, "ff_windows": 1,
+                 "fallback": None},
+        "accuracy": {
+            "throughput_rel_err": 0.004,
+            "mean_latency_rel_err": 0.002,
+            "p99_latency_rel_err": 0.005,
+        },
+    }
+
+
+def test_gate_passes_on_good_record():
+    assert check_regression(_passing_record()) is None
+
+
+def test_gate_fails_when_meso_fell_back():
+    record = _passing_record()
+    record["meso"]["fallback"] = "attack 'rbft-worst1' armed"
+    assert "fell back" in check_regression(record)
+
+
+def test_gate_fails_when_no_fast_forward_happened():
+    record = _passing_record()
+    record["meso"]["ff_time_s"] = 0.0
+    assert "never fast-forwarded" in check_regression(record)
+
+
+@pytest.mark.parametrize("key", [
+    "throughput_rel_err", "mean_latency_rel_err", "p99_latency_rel_err",
+])
+def test_gate_fails_on_accuracy_drift(key):
+    record = _passing_record()
+    record["accuracy"][key] = 0.5
+    assert "diverged" in check_regression(record)
+
+
+def test_gate_fails_below_wall_clock_speedup_floor():
+    record = _passing_record()
+    record["meso_speedup"] = MESO_SPEEDUP_FLOOR - 0.1
+    assert "wall-clock speedup" in check_regression(record)
+
+
+def test_gate_fails_below_baseline_speedup_floor():
+    record = _passing_record()
+    record["speedup"] = MESO_SPEEDUP_FLOOR - 0.1
+    assert "baseline fig7" in check_regression(record)
+
+
+def test_gate_tolerates_missing_baseline():
+    record = _passing_record()
+    del record["speedup"]
+    assert check_regression(record) is None

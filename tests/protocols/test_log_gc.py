@@ -122,7 +122,7 @@ def test_stabilize_discards_checkpoint_and_viewchange_votes():
     for engine in engines:
         assert engine.low_watermark >= 12
         retained = (
-            engine._checkpoint_votes._senders.keys()
+            engine._checkpoint_votes._masks.keys()
             | engine._checkpoint_votes._complete
         )
         assert all(seq > engine.low_watermark for seq, _ in retained)

@@ -1,0 +1,197 @@
+"""Batched-execution and fast-forward tests for the kernel run loop.
+
+The untraced run loop drains same-timestamp entries as one batch (one
+clock store, one limit check per distinct timestamp).  These tests pin
+the behaviours that batching must not change: the ``(time, seq, ...)``
+tie-break contract (on the batched *and* the traced per-entry loop),
+cancellation of entries already conceptually inside the current batch,
+zero-delay rescheduling, and the mid-run :meth:`Simulator.fast_forward`
+jump the mesoscale controller relies on.
+"""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.trace import ListSink, Tracer
+
+
+def _run_interleaving(traced):
+    """One mixed workload; return the observed (label, now) firing log."""
+    sim = Simulator()
+    if traced:
+        sim.tracer = Tracer(sink=ListSink(), enabled=True)
+    log = []
+
+    def fire(label):
+        log.append((label, sim.now))
+
+    # Two timestamp groups, scheduled out of order on purpose: within a
+    # group, firing order must be scheduling (seq) order regardless of
+    # scheduling API; across groups, time order wins.
+    sim.call_at(2.0, fire, "late-0")
+    sim.call_at(1.0, fire, "tie-0")
+    sim.call_anon(1.0, fire, ("tie-1",))
+    sim.call_at(2.0, fire, "late-1")
+    sim.call_at(1.0, fire, "tie-2")
+
+    # Entries *added from inside* the t=1.0 batch: same-time additions
+    # get fresh (higher) sequence numbers, so they run after the already
+    # queued t=1.0 entries but still at time 1.0, before the t=2.0 batch.
+    def spawner():
+        sim.call_soon(fire, "soon")
+        sim.call_at(1.0, fire, "same-time")
+
+    sim.call_at(1.0, spawner)
+    sim.run()
+    return log
+
+
+@pytest.mark.parametrize("traced", [False, True], ids=["batched", "traced"])
+def test_time_seq_contract_holds_on_both_loops(traced):
+    assert _run_interleaving(traced) == [
+        ("tie-0", 1.0),
+        ("tie-1", 1.0),
+        ("tie-2", 1.0),
+        ("soon", 1.0),
+        ("same-time", 1.0),
+        ("late-0", 2.0),
+        ("late-1", 2.0),
+    ]
+
+
+def test_traced_and_batched_loops_agree():
+    assert _run_interleaving(False) == _run_interleaving(True)
+
+
+def test_cancel_within_current_batch_prevents_firing():
+    """Cancelling a later same-timestamp handle from an earlier one works.
+
+    When the victim's heap entry is drained as part of the batch the loop
+    is already executing, the cancel must still win — the Handle checks
+    its flag at fire time, not at pop time.
+    """
+    sim = Simulator()
+    fired = []
+    handles = {}
+
+    sim.call_at(1.0, lambda: handles["victim"].cancel())
+    handles["victim"] = sim.call_at(1.0, fired.append, "victim")
+    sim.call_at(1.0, fired.append, "survivor")
+    sim.run()
+    assert fired == ["survivor"]
+    assert not handles["victim"].active
+
+
+def test_zero_delay_reschedule_lands_in_same_batch():
+    """A callback re-arming itself at ``now`` fires again without the
+    clock moving — the batch extends to the new entry."""
+    sim = Simulator()
+    times = []
+
+    def rearm():
+        times.append(sim.now)
+        if len(times) < 3:
+            sim.call_after(0.0, rearm)
+
+    sim.call_at(1.0, rearm)
+    sim.call_at(2.0, times.append, None)
+    sim.run()
+    assert times == [1.0, 1.0, 1.0, None]
+
+
+def test_call_soon_from_batch_runs_before_clock_advances():
+    sim = Simulator()
+    seen = []
+    sim.call_at(1.0, lambda: sim.call_soon(seen.append, sim.now))
+    sim.call_at(1.0 + 1e-9, seen.append, "next")
+    sim.run()
+    # call_soon's callback observed now == 1.0, i.e. it ran inside the
+    # t=1.0 batch, before the marginally later entry.
+    assert seen == [1.0, "next"]
+
+
+def test_run_until_splits_a_batch_boundary_exactly():
+    """Entries at exactly ``until`` fire; the first beyond it is pushed
+    back untouched and the clock parks at ``until``."""
+    sim = Simulator()
+    fired = []
+    sim.call_at(1.0, fired.append, "at-limit-0")
+    sim.call_at(1.0, fired.append, "at-limit-1")
+    sim.call_at(1.5, fired.append, "beyond")
+    sim.run(until=1.0)
+    assert fired == ["at-limit-0", "at-limit-1"]
+    assert sim.now == 1.0
+    sim.run()
+    assert fired == ["at-limit-0", "at-limit-1", "beyond"]
+
+
+# ---------------------------------------------------------- fast_forward
+
+
+def test_fast_forward_shifts_clock_and_pending_entries():
+    sim = Simulator()
+    fired = []
+    sim.call_at(2.0, fired.append, "a")
+    sim.call_at(3.0, fired.append, "b")
+    sim.fast_forward(10.0)
+    assert sim.now == 10.0
+    assert sim.peek() == 12.0
+    sim.run()
+    assert fired == ["a", "b"]
+    assert sim.now == 13.0
+
+
+def test_fast_forward_preserves_tie_order():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.call_at(1.0, fired.append, i)
+    sim.fast_forward(4.0)
+    sim.run()
+    assert fired == list(range(5))
+    assert sim.now == 5.0
+
+
+def test_fast_forward_mid_run_from_a_callback():
+    """The jump the meso controller performs: from inside a callback,
+    while the loop is draining.  Later entries shift, the stale batch
+    timestamp re-triggers the clock-update branch, and cancellation
+    handles created before the jump still work after it."""
+    sim = Simulator()
+    log = []
+    sim.call_at(1.0, lambda: sim.fast_forward(5.0))
+    sim.call_at(1.0, lambda: log.append(("same-batch", sim.now)))
+    sim.call_at(2.0, lambda: log.append(("later", sim.now)))
+    doomed = sim.call_at(2.5, log.append, "doomed")
+    sim.call_at(2.0, doomed.cancel)
+    sim.run()
+    # The rest of the t=1.0 batch runs at the post-jump clock (its heap
+    # entries were shifted to 6.0 along with everything else).
+    assert log == [("same-batch", 6.0), ("later", 7.0)]
+    assert sim.now == 7.5  # the cancelled entry still advanced the clock
+
+
+def test_fast_forward_mid_run_respects_run_limit():
+    """A jump past ``until`` stops the loop: shifted entries land beyond
+    the limit and are pushed back, and the clock stays at the landed
+    time (not clamped back to ``until``)."""
+    sim = Simulator()
+    fired = []
+    sim.call_at(1.0, lambda: sim.fast_forward(3.0))
+    sim.call_at(1.5, fired.append, "shifted-beyond-limit")
+    sim.run(until=2.0)
+    assert fired == []
+    assert sim.now == 4.0
+    assert sim.peek() == 4.5
+    sim.run()
+    assert fired == ["shifted-beyond-limit"]
+
+
+def test_fast_forward_rejects_negative_and_ignores_zero():
+    sim = Simulator()
+    sim.call_at(1.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.fast_forward(-0.5)
+    sim.fast_forward(0.0)
+    assert sim.now == 0.0
+    assert sim.peek() == 1.0

@@ -60,6 +60,9 @@ EXPERIMENTS_API = [
     "write_kernel_bench",
     "run_protocol_bench",
     "write_protocol_bench",
+    "MesoConfig",
+    "run_meso_bench",
+    "write_meso_bench",
     "RunSpec",
     "execute_specs",
     "execute_tasks",
