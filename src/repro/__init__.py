@@ -35,6 +35,7 @@ __all__ = [
     "run",
     "RunResult",
     "Simulator",
+    "Topology",
 ]
 
 _LAZY = {
@@ -42,6 +43,7 @@ _LAZY = {
     "run": ("repro.experiments.scenario", "run"),
     "RunResult": ("repro.experiments.runner", "RunResult"),
     "Simulator": ("repro.sim.engine", "Simulator"),
+    "Topology": ("repro.net.topology", "Topology"),
 }
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional
 
 from repro.common.cluster import Cluster
-from repro.common.quorum import QuorumTracker, weak_quorum_size
+from repro.common.quorum import VectorQuorumTracker, weak_quorum_size
 from repro.common.types import Request
 from repro.crypto.primitives import MacAuthenticator, Signature
 from repro.metrics.recorder import LatencyRecorder
@@ -41,7 +41,9 @@ class OpenLoopClient:
 
         self._next_rid = 0
         self._sent_at: Dict[int, float] = {}
-        self._reply_votes = QuorumTracker(weak_quorum_size(cluster.f))
+        self._reply_votes = VectorQuorumTracker(
+            weak_quorum_size(cluster.f), cluster.senders
+        )
         self.latencies = LatencyRecorder()
         self.sent = 0
         self.completed = 0

@@ -2,7 +2,13 @@
 
 from .batching import Batcher
 from .cluster import ClientPort, Cluster, ClusterConfig, Machine
-from .quorum import QuorumTracker, quorum_size, weak_quorum_size
+from .quorum import (
+    QuorumTracker,
+    SenderUniverse,
+    VectorQuorumTracker,
+    quorum_size,
+    weak_quorum_size,
+)
 from .statemachine import KeyValueService, NullService, Service
 from .types import Reply, Request, RequestId, RequestIdentifier
 
@@ -13,6 +19,8 @@ __all__ = [
     "ClusterConfig",
     "Machine",
     "QuorumTracker",
+    "SenderUniverse",
+    "VectorQuorumTracker",
     "quorum_size",
     "weak_quorum_size",
     "KeyValueService",

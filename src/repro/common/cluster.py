@@ -19,9 +19,12 @@ from typing import Callable, Dict, List, Optional
 from repro.net.message import Message
 from repro.net.network import GIGABIT_BPS, LAN, Channel, LinkProfile, Network
 from repro.net.nic import NIC
+from repro.net.topology import Topology
 from repro.sim.engine import Simulator
 from repro.sim.resources import CoreSet
 from repro.sim.rng import RngTree
+
+from .quorum import SenderUniverse
 
 __all__ = ["ClusterConfig", "Machine", "ClientPort", "Cluster"]
 
@@ -37,6 +40,11 @@ class ClusterConfig:
     tcp: bool = True
     separate_nics: bool = True
     seed: int = 0
+    #: optional geo-distributed layout (see :mod:`repro.net.topology`):
+    #: regions place machines/clients round-robin by index and channels
+    #: take the region-pair profile instead of ``link``.  ``None`` (the
+    #: default) wires the flat LAN exactly as before.
+    topology: Optional[Topology] = None
 
     @property
     def n(self) -> int:
@@ -61,12 +69,24 @@ class Machine:
         self.name = "node%d" % index
         sim = cluster.sim
         self.cores = CoreSet(sim, config.cores_per_node, self.name)
-        self.client_nic = NIC(sim, self.name + "/nic-clients", config.nic_bandwidth)
+        # Region placement (None on a flat LAN): the region supplies the
+        # machine's NIC bandwidth and names its location.
+        topology = config.topology
+        if topology is None:
+            self.region_index: Optional[int] = None
+            self.region: Optional[str] = None
+            self._nic_bandwidth = config.nic_bandwidth
+        else:
+            self.region_index = topology.node_region_index(index)
+            region = topology.regions[self.region_index]
+            self.region = region.name
+            self._nic_bandwidth = region.nic_bandwidth
+        self.client_nic = NIC(sim, self.name + "/nic-clients", self._nic_bandwidth)
         self.peer_nics: Dict[str, NIC] = {}
         self._shared_nic: Optional[NIC] = None
         if not config.separate_nics:
             self._shared_nic = NIC(
-                sim, self.name + "/nic-shared", config.nic_bandwidth
+                sim, self.name + "/nic-shared", self._nic_bandwidth
             )
             self.client_nic = self._shared_nic
         self._handler: Optional[Callable[[Message], None]] = None
@@ -87,7 +107,7 @@ class Machine:
             nic = NIC(
                 self.cluster.sim,
                 "%s/nic-%s" % (self.name, peer),
-                self.cluster.config.nic_bandwidth,
+                self._nic_bandwidth,
             )
             self.peer_nics[peer] = nic
         return nic
@@ -150,10 +170,25 @@ class Machine:
 class ClientPort:
     """A client's attachment point: one NIC plus channels to every node."""
 
-    def __init__(self, cluster: "Cluster", name: str):
+    def __init__(
+        self,
+        cluster: "Cluster",
+        name: str,
+        region_index: Optional[int] = None,
+    ):
         self.cluster = cluster
         self.name = name
-        self.nic = NIC(cluster.sim, name + "/nic", cluster.config.nic_bandwidth)
+        topology = cluster.config.topology
+        if topology is None or region_index is None:
+            self.region_index: Optional[int] = None
+            self.region: Optional[str] = None
+            nic_bandwidth = cluster.config.nic_bandwidth
+        else:
+            self.region_index = region_index
+            region = topology.regions[region_index]
+            self.region = region.name
+            nic_bandwidth = region.nic_bandwidth
+        self.nic = NIC(cluster.sim, name + "/nic", nic_bandwidth)
         self._handler: Optional[Callable[[Message], None]] = None
         self._inbound: List[Channel] = []
         self.channels_to_nodes: Dict[str, Channel] = {}
@@ -206,8 +241,24 @@ class Cluster:
         self.config = config
         self.rng = RngTree(config.seed)
         self.network = Network(sim, self.rng.stream("network"))
+        #: one sender → bit interning shared by every vote tracker of
+        #: this deployment (see :class:`repro.common.quorum.SenderUniverse`).
+        self.senders = SenderUniverse()
+        self._pair_profiles = (
+            None if config.topology is None else config.topology.pair_profiles()
+        )
         self.machines: List[Machine] = [Machine(self, i) for i in range(config.n)]
         self.clients: Dict[str, ClientPort] = {}
+        self._wire_nodes()
+
+    def _link_between(self, src_region, dst_region) -> LinkProfile:
+        """The profile for a channel between two placed endpoints."""
+        if self._pair_profiles is None or src_region is None or dst_region is None:
+            return self.config.link
+        return self._pair_profiles[src_region][dst_region]
+
+    def _wire_nodes(self) -> None:
+        """Create the n × (n-1) node-to-node channels."""
         for src in self.machines:
             for dst in self.machines:
                 if src is dst:
@@ -218,8 +269,8 @@ class Cluster:
                     src.nic_for_peer(dst.name),
                     dst.nic_for_peer(src.name),
                     dst.deliver,
-                    profile=config.link,
-                    tcp=config.tcp,
+                    profile=self._link_between(src.region_index, dst.region_index),
+                    tcp=self.config.tcp,
                 )
                 src.channels_to_nodes[dst.name] = channel
                 dst._register_inbound(channel)
@@ -268,7 +319,19 @@ class Cluster:
     def add_client(self, name: str) -> ClientPort:
         if name in self.clients:
             raise ValueError("client %r already attached" % name)
-        port = ClientPort(self, name)
+        region_index = None
+        if self.config.topology is not None:
+            region_index = self.config.topology.client_region_index(
+                len(self.clients)
+            )
+        port = ClientPort(self, name, region_index=region_index)
+        self._wire_client(port)
+        self.clients[name] = port
+        return port
+
+    def _wire_client(self, port: ClientPort) -> None:
+        """Create the 2 × n channels between one client port and the nodes."""
+        name = port.name
         for machine in self.machines:
             up = self.network.connect(
                 name,
@@ -276,7 +339,7 @@ class Cluster:
                 port.nic,
                 machine.client_nic,
                 machine.deliver,
-                profile=self.config.link,
+                profile=self._link_between(port.region_index, machine.region_index),
                 tcp=self.config.tcp,
             )
             port.channels_to_nodes[machine.name] = up
@@ -287,10 +350,69 @@ class Cluster:
                 machine.client_nic,
                 port.nic,
                 port.deliver,
-                profile=self.config.link,
+                profile=self._link_between(machine.region_index, port.region_index),
                 tcp=self.config.tcp,
             )
             machine.channels_to_clients[name] = down
             port._register_inbound(down)
-        self.clients[name] = port
-        return port
+
+    # ------------------------------------------------------------- rewiring
+    def rewire(self, topology: Optional[Topology]) -> None:
+        """Re-bind every channel to a new topology's link profiles.
+
+        Channel profile scalars are hoisted into slots at construction,
+        so rebinding means **new** Channel objects for every node pair
+        and client attachment.  Everything that cached the old objects
+        must be invalidated here — the lazily materialised broadcast
+        fan-out lists (``_broadcast_channels``), the per-destination
+        channel dicts and the ``_inbound`` registration lists — or a
+        later ``broadcast_to_nodes`` would keep sending on the stale,
+        disconnected channels of the previous wiring (the bug this
+        method's regression test pins).
+
+        NIC objects survive (their queues carry history); only their
+        bandwidth is updated when the new region says so.  ``rewire``
+        draws no randomness, so it never perturbs the RNG stream.
+        """
+        self.config = self.config.with_(topology=topology)
+        self._pair_profiles = (
+            None if topology is None else topology.pair_profiles()
+        )
+        for machine in self.machines:
+            if topology is None:
+                machine.region_index = None
+                machine.region = None
+                machine._nic_bandwidth = self.config.nic_bandwidth
+            else:
+                machine.region_index = topology.node_region_index(machine.index)
+                region = topology.regions[machine.region_index]
+                machine.region = region.name
+                machine._nic_bandwidth = region.nic_bandwidth
+            machine.client_nic.bandwidth = machine._nic_bandwidth
+            for nic in machine.peer_nics.values():
+                nic.bandwidth = machine._nic_bandwidth
+            if machine._shared_nic is not None:
+                machine._shared_nic.bandwidth = machine._nic_bandwidth
+            # Cache invalidation: drop every reference to the old
+            # Channel objects before re-wiring.
+            machine.channels_to_nodes.clear()
+            machine.channels_to_clients.clear()
+            machine._inbound.clear()
+            machine._broadcast_channels = None
+        for index, port in enumerate(self.clients.values()):
+            if topology is None:
+                port.region_index = None
+                port.region = None
+                port.nic.bandwidth = self.config.nic_bandwidth
+            else:
+                port.region_index = topology.client_region_index(index)
+                region = topology.regions[port.region_index]
+                port.region = region.name
+                port.nic.bandwidth = region.nic_bandwidth
+            port.channels_to_nodes.clear()
+            port._inbound.clear()
+            port._broadcast_channels = None
+        self.network.channels.clear()
+        self._wire_nodes()
+        for port in self.clients.values():
+            self._wire_client(port)

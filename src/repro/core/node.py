@@ -26,7 +26,11 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.common.cluster import Machine
-from repro.common.quorum import QuorumTracker, quorum_size, weak_quorum_size
+from repro.common.quorum import (
+    VectorQuorumTracker,
+    quorum_size,
+    weak_quorum_size,
+)
 from repro.common.statemachine import Service
 from repro.common.types import Reply, Request
 from repro.crypto.blacklist import ClientBlacklist
@@ -81,6 +85,7 @@ class RBFTNode:
         # f+1 protocol instances ------------------------------------------
         self.engines: List[OrderingInstance] = []
         instance_config = config.instance_config()
+        senders = machine.cluster.senders
         for k in range(config.instances):
             core = machine.cores.allocate("replica-%d" % k)
             engine = OrderingInstance(
@@ -94,6 +99,7 @@ class RBFTNode:
                 on_ordered=self._make_ordered_callback(k),
                 guard=self._propagation_guard,
                 primary_offset=k,
+                senders=senders,
             )
             engine.on_invalid = self._note_invalid
             self.engines.append(engine)
@@ -102,7 +108,9 @@ class RBFTNode:
         self.blacklist = ClientBlacklist()
         self._propagated: set = set()
         self._sig_inflight: set = set()  # dedup of queued signature checks
-        self._propagate_votes = QuorumTracker(weak_quorum_size(config.f))
+        self._propagate_votes = VectorQuorumTracker(
+            weak_quorum_size(config.f), senders
+        )
         self.request_store: Dict[Tuple[str, int], Request] = {}
         self.ready_ids: set = set()
         self._given_at: Dict[Tuple[str, int], float] = {}
@@ -121,7 +129,7 @@ class RBFTNode:
         self.master_instance = config.master
         self.cpi = 0
         self._voted_choice: Dict[int, int] = {}  # cpi -> preferred master
-        self._ic_votes = QuorumTracker(quorum_size(config.f))
+        self._ic_votes = VectorQuorumTracker(quorum_size(config.f), senders)
         self.instance_changes = 0
         # Best-backup promotion (§IV-A future work) keeps each instance's
         # delivery history so the new master's backlog can be replayed.

@@ -29,6 +29,7 @@ from .parallel import RunSpec, execute_specs, execute_tasks, resolve_jobs
 from .profiling import profile_report, profile_run
 from .protocolbench import run_protocol_bench, write_protocol_bench
 from .scale import FULL, QUICK, SMOKE, ScenarioScale, current_scale
+from .scalebench import run_scale_bench, write_scale_bench
 from .scenario import Scenario, run
 from .smoke import check_bounds, run_smoke, write_smoke
 from .soak import check_soak, run_soak, write_soak
@@ -73,6 +74,8 @@ __all__ = [
     "write_kernel_bench",
     "run_protocol_bench",
     "write_protocol_bench",
+    "run_scale_bench",
+    "write_scale_bench",
     "MesoConfig",
     "run_meso_bench",
     "write_meso_bench",

@@ -18,6 +18,7 @@ Beyond the paper's figures, three instrumentation commands::
     python -m repro.experiments bench kernel       # kernel dispatch benchmark
     python -m repro.experiments bench protocol     # protocol hot-path benchmark
     python -m repro.experiments bench meso         # mesoscale speed+accuracy gate
+    python -m repro.experiments bench scale        # kreq/s-vs-n scale-out curve
 
 Sweeps fan out across worker processes: ``--jobs N`` (or the
 ``REPRO_JOBS`` environment variable) sets the worker count, default
@@ -212,6 +213,20 @@ def _cmd_soak(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.what == "scale":
+        from .scalebench import (
+            DEFAULT_BASELINE_PATH as scale_baseline,
+            write_scale_bench,
+        )
+
+        # The ladder reaches n = 148; one pass is minutes of wall clock,
+        # so default to a single repeat instead of the microbenchmarks' 3.
+        return write_scale_bench(
+            output=args.output or "BENCH_scale.json",
+            baseline_path=args.baseline or scale_baseline,
+            repeat=args.repeat if args.repeat is not None else 1,
+            check=args.check,
+        )
     if args.what == "meso":
         from .mesobench import (
             DEFAULT_BASELINE_PATH as meso_baseline,
@@ -221,7 +236,7 @@ def _cmd_bench(args) -> int:
         return write_meso_bench(
             output=args.output or "BENCH_meso.json",
             baseline_path=args.baseline or meso_baseline,
-            repeat=args.repeat,
+            repeat=args.repeat if args.repeat is not None else 3,
             check=args.check,
         )
     if args.what == "protocol":
@@ -233,7 +248,7 @@ def _cmd_bench(args) -> int:
         return write_protocol_bench(
             output=args.output or "BENCH_protocol.json",
             baseline_path=args.baseline or protocol_baseline,
-            repeat=args.repeat,
+            repeat=args.repeat if args.repeat is not None else 3,
             check=args.check,
         )
     from .kernelbench import (
@@ -244,7 +259,7 @@ def _cmd_bench(args) -> int:
     return write_kernel_bench(
         output=args.output or "BENCH_kernel.json",
         baseline_path=args.baseline or kernel_baseline,
-        repeat=args.repeat,
+        repeat=args.repeat if args.repeat is not None else 3,
         check=args.check,
     )
 
@@ -475,9 +490,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench",
         help="microbenchmarks; `bench kernel` writes BENCH_kernel.json, "
         "`bench protocol` writes BENCH_protocol.json, `bench meso` "
-        "writes BENCH_meso.json (meso speed + accuracy gate)",
+        "writes BENCH_meso.json (meso speed + accuracy gate), `bench "
+        "scale` writes BENCH_scale.json (kreq/s-vs-n curve per protocol)",
     )
-    bench.add_argument("what", choices=["kernel", "protocol", "meso"],
+    bench.add_argument("what", choices=["kernel", "protocol", "meso", "scale"],
                        help="which benchmark to run")
     bench.add_argument("--output", default=None,
                        help="where to write the benchmark artifact "
@@ -485,8 +501,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("--baseline", default=None,
                        help="reference baseline JSON for the speedup "
                        "(default: benchmarks/<what>_baseline.json)")
-    bench.add_argument("--repeat", type=int, default=3,
-                       help="repetitions per workload (best wall kept)")
+    bench.add_argument("--repeat", type=int, default=None,
+                       help="repetitions per workload, best wall kept "
+                       "(default: 3; `bench scale` defaults to 1)")
     bench.add_argument("--check", action="store_true",
                        help="fail (exit 1) when events/sec regresses below "
                        "the baseline floor (meso: also when accuracy drifts "

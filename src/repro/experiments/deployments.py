@@ -13,6 +13,7 @@ from repro.clients import OpenLoopClient
 from repro.common import Cluster, ClusterConfig, NullService, Service
 from repro.core import RBFTConfig, RBFTNode
 from repro.net.network import LinkProfile
+from repro.net.topology import Topology
 from repro.protocols.aardvark import AardvarkConfig, AardvarkNode
 from repro.protocols.base import BftNode, NodeConfig
 from repro.protocols.prime import PrimeConfig, PrimeNode
@@ -65,6 +66,7 @@ def build_rbft(
     tcp: bool = True,
     seed: int = 0,
     link: Optional[LinkProfile] = None,
+    topology: Optional[Topology] = None,
 ) -> Deployment:
     """An RBFT deployment (§V): 3f+1 machines, f+1 instances each."""
     config = config or RBFTConfig()
@@ -74,6 +76,8 @@ def build_rbft(
     )
     if link is not None:
         cluster_config = cluster_config.with_(link=link)
+    if topology is not None:
+        cluster_config = cluster_config.with_(topology=topology)
     cluster = Cluster(sim, cluster_config)
     nodes = [
         RBFTNode(machine, config, service_factory()) for machine in cluster.machines
@@ -82,10 +86,18 @@ def build_rbft(
     return Deployment(sim, cluster, nodes, clients, RngTree(seed))
 
 
-def _cluster_config(f: int, seed: int, link: Optional[LinkProfile], **kwargs):
+def _cluster_config(
+    f: int,
+    seed: int,
+    link: Optional[LinkProfile],
+    topology: Optional[Topology] = None,
+    **kwargs,
+):
     config = ClusterConfig(f=f, seed=seed, **kwargs)
     if link is not None:
         config = config.with_(link=link)
+    if topology is not None:
+        config = config.with_(topology=topology)
     return config
 
 
@@ -97,10 +109,11 @@ def build_aardvark(
     service_factory: Callable[[], Service] = NullService,
     seed: int = 0,
     link: Optional[LinkProfile] = None,
+    topology: Optional[Topology] = None,
 ) -> Deployment:
     config = config or AardvarkConfig()
     sim = Simulator()
-    cluster = Cluster(sim, _cluster_config(config.instance.f, seed, link))
+    cluster = Cluster(sim, _cluster_config(config.instance.f, seed, link, topology))
     nodes = [
         AardvarkNode(machine, config, service_factory())
         for machine in cluster.machines
@@ -116,6 +129,7 @@ def build_spinning(
     service_factory: Callable[[], Service] = NullService,
     seed: int = 0,
     link: Optional[LinkProfile] = None,
+    topology: Optional[Topology] = None,
 ) -> Deployment:
     """Spinning runs over UDP multicast on a shared NIC (§VI-B)."""
     config = config or SpinningConfig()
@@ -123,7 +137,8 @@ def build_spinning(
     cluster = Cluster(
         sim,
         _cluster_config(
-            config.instance.f, seed, link, tcp=False, separate_nics=False
+            config.instance.f, seed, link, topology,
+            tcp=False, separate_nics=False,
         ),
     )
     nodes = [
@@ -141,10 +156,11 @@ def build_prime(
     service_factory: Callable[[], Service] = NullService,
     seed: int = 0,
     link: Optional[LinkProfile] = None,
+    topology: Optional[Topology] = None,
 ) -> Deployment:
     config = config or PrimeConfig()
     sim = Simulator()
-    cluster = Cluster(sim, _cluster_config(config.f, seed, link))
+    cluster = Cluster(sim, _cluster_config(config.f, seed, link, topology))
     nodes = [
         PrimeNode(machine, config, service_factory()) for machine in cluster.machines
     ]
@@ -159,11 +175,12 @@ def build_pbft(
     service_factory: Callable[[], Service] = NullService,
     seed: int = 0,
     link: Optional[LinkProfile] = None,
+    topology: Optional[Topology] = None,
 ) -> Deployment:
     """Plain PBFT — used by ablations, not by the paper's figures."""
     config = config or NodeConfig()
     sim = Simulator()
-    cluster = Cluster(sim, _cluster_config(config.f, seed, link))
+    cluster = Cluster(sim, _cluster_config(config.f, seed, link, topology))
     nodes = [
         BftNode(machine, config, service_factory()) for machine in cluster.machines
     ]

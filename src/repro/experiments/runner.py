@@ -34,6 +34,7 @@ from repro.faults import (
     install_spinning_attack,
 )
 from repro.net.network import LinkProfile
+from repro.net.topology import Topology
 from repro.protocols import registry as protocol_registry
 
 from .deployments import Deployment
@@ -147,6 +148,7 @@ def make_deployment(
     exec_cost: float = 20e-6,
     n_clients: int = 12,
     link: Optional[LinkProfile] = None,
+    topology: Optional[Topology] = None,
 ) -> Deployment:
     """Stand up one of the protocol variants on identical hardware."""
     scale = scale or current_scale()
@@ -157,7 +159,7 @@ def make_deployment(
 
     return spec.build(
         f, scale, payload=payload, n_clients=n_clients,
-        service_factory=service, seed=seed, link=link,
+        service_factory=service, seed=seed, link=link, topology=topology,
     )
 
 

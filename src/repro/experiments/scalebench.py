@@ -1,0 +1,269 @@
+"""Scale-out benchmark: ``python -m repro.experiments bench scale``.
+
+Where ``bench protocol`` pins the per-message hot path at the paper's
+n = 4 testbed, this benchmark measures how the simulator — and each
+protocol's quadratic certificate traffic — holds up as the replica
+count grows into the hundreds: the regime the topology layer and the
+vectorised quorum/vote tracking were built for.
+
+Every registry protocol is run at a fixed ladder of cluster sizes
+(n = 3f + 1 for f in the ladder), each point a fixed-seed, fixed-rate
+scenario (no capacity probes, so event counts are identical on every
+machine and across refactors).  The artifact is a **kreq/s-vs-n curve
+per protocol** plus one geo-distributed point (RBFT on the ``wan3``
+topology) pinning WAN determinism.  PBFT and Spinning climb to
+n = 148 (f = 49) — the "hundreds of replicas" acceptance point; RBFT
+runs f + 1 ordering instances per node, so its ladder stops at n = 64
+to keep the benchmark's wall clock bounded.
+
+``--check`` turns the benchmark into a CI gate with the same two
+failure modes as ``bench protocol``: events/sec below the tolerance
+floor (a lost optimisation), and drift in any deterministic per-point
+number (events, completed requests, throughput) — those are pure
+functions of the seed, so any difference from the checked-in baseline
+(``benchmarks/scale_baseline.json``) means seeded behaviour changed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Optional
+
+from .benchutil import host_fingerprint, warn_on_foreign_baseline
+from .scale import SMOKE
+
+__all__ = [
+    "DEFAULT_BASELINE_PATH",
+    "REGRESSION_TOLERANCE",
+    "SCALE_POINTS",
+    "run_scale_bench",
+    "write_scale_bench",
+]
+
+DEFAULT_BASELINE_PATH = os.path.join("benchmarks", "scale_baseline.json")
+
+#: CI fails when events/sec drops more than this fraction below baseline.
+REGRESSION_TOLERANCE = 0.20
+
+BENCH_SEED = 7
+WARMUP = 0.05
+N_CLIENTS = 4
+
+#: (protocol, f, offered rps, measured duration) — fixed loads sized so
+#: each point saturates without the wall clock exploding; durations
+#: shrink as n² message costs grow.  RBFT pays (f+1)× the certificate
+#: traffic of its peers, so its ladder is shorter.
+SCALE_POINTS = (
+    ("pbft", 1, 2000.0, 0.30),
+    ("pbft", 5, 1000.0, 0.30),
+    ("pbft", 21, 500.0, 0.20),
+    ("pbft", 49, 400.0, 0.15),
+    ("spinning", 1, 2000.0, 0.30),
+    ("spinning", 5, 1000.0, 0.30),
+    ("spinning", 21, 500.0, 0.20),
+    ("spinning", 49, 400.0, 0.15),
+    ("aardvark", 1, 2000.0, 0.30),
+    ("aardvark", 5, 1000.0, 0.30),
+    ("aardvark", 21, 500.0, 0.20),
+    ("prime", 1, 2000.0, 0.30),
+    ("prime", 5, 1000.0, 0.30),
+    ("prime", 21, 500.0, 0.20),
+    ("rbft", 1, 2000.0, 0.30),
+    ("rbft", 5, 1000.0, 0.30),
+    ("rbft", 21, 500.0, 0.15),
+)
+
+#: the geo-distributed pin: RBFT spread across three regions.
+WAN_POINT = ("rbft", 1, 1000.0, 0.30)
+WAN_PACK = "wan3"
+
+
+def _scale_point(
+    protocol: str, f: int, rate: float, duration: float, topology=None
+) -> dict:
+    """One fixed-rate run; returns the per-point artifact entry."""
+    from .scenario import Scenario, run
+
+    scenario = Scenario(
+        protocol=protocol,
+        f=f,
+        rate=rate,
+        seed=BENCH_SEED,
+        scale=SMOKE,
+        duration=duration,
+        warmup=WARMUP,
+        n_clients=N_CLIENTS,
+        topology=topology,
+    )
+    start = time.perf_counter()
+    result = run(scenario)
+    wall = time.perf_counter() - start
+    return {
+        "f": f,
+        "n": 3 * f + 1,
+        "offered_rps": rate,
+        "throughput_rps": round(result.executed_rate, 1),
+        "kreq_per_sec": round(result.executed_rate / 1000.0, 3),
+        "completed": result.completed,
+        "events": result.events,
+        "wall_clock_s": round(wall, 4),
+    }
+
+
+def _load_baseline(path: Optional[str]) -> Optional[dict]:
+    if not path or not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as fileobj:
+            return json.load(fileobj)
+    except (OSError, ValueError):
+        return None
+
+
+def run_scale_bench(
+    repeat: int = 1, baseline_path: Optional[str] = None
+) -> dict:
+    """Run every ladder point ``repeat`` times; keep the best wall clock.
+
+    Event counts must be identical across repeats — a varying count
+    means the benchmark (or the simulator's determinism) broke.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    from repro.net.topology import named
+
+    curves: dict = {}
+    for protocol, f, rate, duration in SCALE_POINTS:
+        point = _scale_point(protocol, f, rate, duration)
+        for _ in range(repeat - 1):
+            again = _scale_point(protocol, f, rate, duration)
+            if again["events"] != point["events"]:
+                raise RuntimeError(
+                    "%s f=%d dispatched %d events, expected %d — scale "
+                    "determinism broke"
+                    % (protocol, f, again["events"], point["events"])
+                )
+            if again["wall_clock_s"] < point["wall_clock_s"]:
+                point["wall_clock_s"] = again["wall_clock_s"]
+        curves.setdefault(protocol, []).append(point)
+
+    protocol, f, rate, duration = WAN_POINT
+    wan = _scale_point(protocol, f, rate, duration, topology=named(WAN_PACK))
+    wan["protocol"] = protocol
+    wan["topology"] = WAN_PACK
+
+    points = [p for curve in curves.values() for p in curve] + [wan]
+    total_events = sum(p["events"] for p in points)
+    total_wall = sum(p["wall_clock_s"] for p in points)
+    eps = total_events / total_wall if total_wall > 0 else 0.0
+
+    record = {
+        "schema": "rbft-bench-scale/1",
+        "repeat": repeat,
+        "seed": BENCH_SEED,
+        "host": host_fingerprint(),
+        # Headline: combined dispatch rate across the whole ladder.
+        "events_per_sec": round(eps, 1),
+        "wall_clock_s": round(total_wall, 4),
+        "max_n": max(p["n"] for p in points),
+        "curves": curves,
+        "wan": wan,
+    }
+    baseline = _load_baseline(baseline_path)
+    if baseline and baseline.get("events_per_sec"):
+        record["baseline"] = {
+            "path": baseline_path,
+            "events_per_sec": baseline["events_per_sec"],
+            "recorded": baseline.get("recorded", "scale-out refactor"),
+        }
+        record["speedup"] = round(eps / baseline["events_per_sec"], 3)
+    return record
+
+
+def _baseline_points(baseline: dict):
+    """Yield (label, point) for every curve and WAN point in a record."""
+    for protocol, curve in sorted(baseline.get("curves", {}).items()):
+        for point in curve:
+            yield "%s f=%s" % (protocol, point.get("f")), point
+    wan = baseline.get("wan")
+    if wan:
+        yield "wan %s f=%s" % (wan.get("topology"), wan.get("f")), wan
+
+
+def check_regression(
+    record: dict, baseline: Optional[dict] = None
+) -> Optional[str]:
+    """Return a violation message when the benchmark regressed, else None."""
+    summary = record.get("baseline")
+    if not summary:
+        return None
+    floor = (1.0 - REGRESSION_TOLERANCE) * summary["events_per_sec"]
+    if record["events_per_sec"] < floor:
+        return (
+            "scale events/sec %.0f regressed more than %.0f%% below the "
+            "baseline %.0f (floor %.0f)"
+            % (
+                record["events_per_sec"],
+                REGRESSION_TOLERANCE * 100,
+                summary["events_per_sec"],
+                floor,
+            )
+        )
+    baseline = baseline if baseline is not None else _load_baseline(
+        summary.get("path")
+    )
+    if baseline:
+        ours = {label: point for label, point in _baseline_points(record)}
+        for label, expected in _baseline_points(baseline):
+            got = ours.get(label)
+            if got is None:
+                return "ladder point %s vanished from the benchmark" % label
+            for key in ("events", "completed", "throughput_rps"):
+                if key in expected and got.get(key) != expected[key]:
+                    return (
+                        "%s %s drifted from the baseline (%s != %s) — "
+                        "seeded scale behaviour changed"
+                        % (label, key, got.get(key), expected[key])
+                    )
+    return None
+
+
+def write_scale_bench(
+    output: str = "BENCH_scale.json",
+    baseline_path: Optional[str] = DEFAULT_BASELINE_PATH,
+    repeat: int = 1,
+    check: bool = False,
+) -> int:
+    """Run, write the artifact, print a summary; non-zero on regression."""
+    record = run_scale_bench(repeat=repeat, baseline_path=baseline_path)
+    if check:
+        warn_on_foreign_baseline(record, _load_baseline(baseline_path))
+    violation = check_regression(record) if check else None
+    record["violations"] = [violation] if violation else []
+    with open(output, "w", encoding="utf-8") as fileobj:
+        json.dump(record, fileobj, indent=2, sort_keys=True)
+        fileobj.write("\n")
+    speedup = record.get("speedup")
+    peak = max(
+        (p for curve in record["curves"].values() for p in curve),
+        key=lambda p: p["n"],
+    )
+    print(
+        "bench scale: %.0f events/s | n up to %d (%s %.2f kreq/s) | "
+        "wall %.1fs%s -> %s"
+        % (
+            record["events_per_sec"],
+            record["max_n"],
+            "pbft",
+            peak["kreq_per_sec"],
+            record["wall_clock_s"],
+            " | %.2fx vs baseline" % speedup if speedup else "",
+            output,
+        )
+    )
+    if violation:
+        print("BENCH REGRESSION: %s" % violation)
+        return 1
+    return 0

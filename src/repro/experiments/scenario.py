@@ -27,6 +27,7 @@ from typing import Optional
 
 from repro.clients import dynamic_profile, static_profile
 from repro.net.network import LinkProfile
+from repro.net.topology import Topology
 
 from .scale import ScenarioScale, current_scale
 
@@ -61,6 +62,11 @@ class Scenario:
     exec_cost: float = 20e-6
     scale: Optional[ScenarioScale] = None
     link: Optional[LinkProfile] = None
+    #: geo-distributed layout (see :mod:`repro.net.topology`); ``None``
+    #: keeps the flat Gigabit LAN of the paper's testbed.  Capacity
+    #: probes (``rate=None``) always measure the flat LAN — WAN
+    #: scenarios should pass an explicit ``rate``.
+    topology: Optional[Topology] = None
     #: client population; None picks the load shape's default (12 for
     #: static, the spike population for dynamic).
     n_clients: Optional[int] = None
@@ -149,7 +155,7 @@ def run(scenario: Scenario):
     deployment = make_deployment(
         scenario.protocol, scenario.payload, scale, f=scenario.f,
         seed=scenario.seed, exec_cost=scenario.exec_cost,
-        n_clients=n_clients, link=scenario.link,
+        n_clients=n_clients, link=scenario.link, topology=scenario.topology,
     )
     watch = None
     if scenario.track_log_sizes:

@@ -17,6 +17,12 @@ bookkeeping grows the peak with the number of ordered batches instead
 
 The throughput floor is a liveness cross-check: a "pass" produced by a
 stalled run that never filled its logs would be meaningless.
+
+A second, shorter **large-n point** (PBFT at n = 148) repeats the
+bounded-log assertion at two orders of magnitude more replicas, where
+any per-sender structure that escapes the collector — vote masks,
+authenticator caches, channel buffers — would grow 37x faster than at
+the paper's n = 4 testbed.
 """
 
 from __future__ import annotations
@@ -40,6 +46,17 @@ HORIZON_FACTOR = 10.0
 #: pending backlog stays bounded and the gate measures *protocol* state.
 SOAK_RATE = 16_000.0
 
+#: the large-n soak point: the same bounded-log assertion at n = 148
+#: (f = 49), where a leak in any per-sender or per-sequence structure
+#: would be amplified by two orders of magnitude more replicas.  PBFT
+#: keeps the point affordable (RBFT would pay (f+1)x the certificate
+#: traffic); the log bound is per ordering instance, so it is the same
+#: 1152-entry envelope the n = 4 point asserts.
+LARGE_N_PROTOCOL = "pbft"
+LARGE_N_F = 49
+LARGE_N_RATE = 400.0
+LARGE_N_CLIENTS = 4
+
 _DEFAULTS = InstanceConfig()
 
 #: sanity envelope for the soak numbers; violating any entry fails CI.
@@ -52,6 +69,8 @@ SOAK_BOUNDS: Dict[str, float] = {
     ),
     # liveness floor: the run must actually order requests at rate.
     "min_throughput_rps": 5_000.0,
+    # large-n floor: half the (much lower) offered rate at n = 148.
+    "min_large_n_throughput_rps": LARGE_N_RATE / 2.0,
 }
 
 
@@ -73,11 +92,23 @@ def run_soak(
         track_log_sizes=True,
     ))
     wall = time.perf_counter() - t0
+    t1 = time.perf_counter()
+    large = run(Scenario(
+        protocol=LARGE_N_PROTOCOL,
+        payload=8,
+        rate=LARGE_N_RATE,
+        f=LARGE_N_F,
+        seed=seed,
+        scale=scale,
+        n_clients=LARGE_N_CLIENTS,
+        track_log_sizes=True,
+    ))
+    large_wall = time.perf_counter() - t1
     return {
         "schema": "rbft-bench-soak/1",
         "scale": scale.name,
         "seed": seed,
-        "wall_clock_s": round(wall, 3),
+        "wall_clock_s": round(wall + large_wall, 3),
         "soak": {
             "protocol": "rbft",
             "payload": 8,
@@ -89,6 +120,17 @@ def run_soak(
             "peak_log_size": result.peak_log_size,
             "watermark_window": _DEFAULTS.watermark_window,
             "checkpoint_interval": _DEFAULTS.checkpoint_interval,
+        },
+        "large_n": {
+            "protocol": LARGE_N_PROTOCOL,
+            "f": LARGE_N_F,
+            "n": 3 * LARGE_N_F + 1,
+            "payload": 8,
+            "offered_rps": LARGE_N_RATE,
+            "duration_s": scale.duration,
+            "wall_clock_s": round(large_wall, 3),
+            "throughput_rps": round(large.executed_rate, 1),
+            "peak_log_size": large.peak_log_size,
         },
         "bounds": dict(SOAK_BOUNDS),
     }
@@ -114,6 +156,26 @@ def check_soak(record: dict) -> List[str]:
                 soak["throughput_rps"], bounds["min_throughput_rps"],
             )
         )
+    large = record.get("large_n")
+    if large:
+        if large["peak_log_size"] > bounds["max_peak_log_size"]:
+            violations.append(
+                "n=%d peak protocol-log size %d above bound %d — "
+                "per-sequence state leaks at scale" % (
+                    large["n"], large["peak_log_size"],
+                    int(bounds["max_peak_log_size"]),
+                )
+            )
+        floor = bounds.get(
+            "min_large_n_throughput_rps", SOAK_BOUNDS["min_large_n_throughput_rps"]
+        )
+        if large["throughput_rps"] < floor:
+            violations.append(
+                "n=%d throughput %.0f req/s below floor %.0f — the "
+                "large-n soak point stalled" % (
+                    large["n"], large["throughput_rps"], floor,
+                )
+            )
     return violations
 
 
@@ -130,14 +192,17 @@ def write_soak(
         json.dump(record, fileobj, indent=2, sort_keys=True)
         fileobj.write("\n")
     soak = record["soak"]
+    large = record["large_n"]
     print(
         "soak: %.1fs horizon | %.0f req/s | peak log %d (bound %d) | "
-        "wall %.1fs -> %s"
+        "n=%d peak log %d | wall %.1fs -> %s"
         % (
             soak["duration_s"],
             soak["throughput_rps"],
             soak["peak_log_size"],
             int(record["bounds"]["max_peak_log_size"]),
+            large["n"],
+            large["peak_log_size"],
             record["wall_clock_s"],
             output,
         )

@@ -1,7 +1,21 @@
-"""Simulated network: messages, NICs, channels."""
+"""Simulated network: messages, NICs, channels, geo topologies."""
 
 from .message import Message
 from .network import GIGABIT_BPS, Channel, LinkProfile, Network
 from .nic import NIC
+from .topology import Region, Topology, flat, named, wan3, wan5
 
-__all__ = ["Message", "NIC", "Channel", "LinkProfile", "Network", "GIGABIT_BPS"]
+__all__ = [
+    "Message",
+    "NIC",
+    "Channel",
+    "LinkProfile",
+    "Network",
+    "GIGABIT_BPS",
+    "Region",
+    "Topology",
+    "flat",
+    "named",
+    "wan3",
+    "wan5",
+]

@@ -43,6 +43,11 @@ class LinkProfile:
     tcp_overhead: float = 45e-6  # extra per-message latency under TCP
     udp_loss: float = 0.0  # drop probability under UDP
     udp_duplicate: float = 0.0  # duplicate-delivery probability under UDP
+    #: bottleneck link bandwidth in bytes/s; 0 (the default) means the
+    #: link itself is unconstrained and only the NICs pace traffic.  A
+    #: WAN topology sets this on cross-region profiles: each message
+    #: pays ``size / bandwidth`` of serialisation on the shared pipe.
+    bandwidth: float = 0.0
 
 
 LAN = LinkProfile()
@@ -72,6 +77,7 @@ class Channel:
         "_tcp_overhead",
         "_udp_loss",
         "_udp_duplicate",
+        "_bandwidth",
     )
 
     def __init__(
@@ -114,6 +120,7 @@ class Channel:
         self._tcp_overhead = profile.tcp_overhead
         self._udp_loss = profile.udp_loss
         self._udp_duplicate = profile.udp_duplicate
+        self._bandwidth = profile.bandwidth
 
     def send(self, msg: Message) -> None:
         """Transmit ``msg``; the receiver's handler fires on delivery."""
@@ -133,6 +140,11 @@ class Channel:
         """Propagate a message whose transmission completes at ``tx_done``."""
         sim = self._sim
         arrival = tx_done + self._latency
+        link_bw = self._bandwidth
+        if link_bw:
+            # Serialisation over the bottleneck WAN pipe; 0 (the LAN
+            # default) skips the branch, keeping seeded runs identical.
+            arrival += size / link_bw
         rng = self._rng
         jitter = self._jitter
         if jitter > 0:
@@ -210,6 +222,9 @@ class Channel:
         """
         sim = self._sim
         arrival = tx_done + self._latency
+        link_bw = self._bandwidth
+        if link_bw:
+            arrival += size / link_bw
         rng = self._rng
         jitter = self._jitter
         if jitter > 0:

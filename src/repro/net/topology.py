@@ -1,0 +1,249 @@
+"""Geo-distributed topologies: regions, latency matrices, placement.
+
+The paper's testbed is a single Gigabit LAN; Berger et al. (PAPERS.md)
+show that the interesting scale axis — hundreds of replicas spread over
+continents — is exactly where simulation beats real clusters.  This
+module describes such deployments declaratively:
+
+* a :class:`Region` names one datacenter: its intra-region link profile
+  and the NIC bandwidth its machines get;
+* a :class:`Topology` combines regions with an inter-region one-way
+  latency matrix (seconds) and an optional inter-region bandwidth
+  matrix (bytes/second, the bottleneck WAN pipe between two regions);
+* placement is **round-robin by index** unless an explicit
+  ``placement`` tuple pins node ``i`` to a region: node ``i`` lands in
+  region ``i % len(regions)``, and clients are placed the same way by
+  attachment order.  Round-robin keeps every region's replica count
+  within one of each other, so no single region holds a quorum — the
+  "cross-region f placement" a geo-replicated BFT deployment wants.
+
+Both dataclasses are frozen, hashable and picklable, so a
+:class:`Topology` rides inside a ``Scenario`` unchanged (cache key,
+process fan-out).  A topology whose matrix is all-zero and whose region
+profiles equal the cluster's flat link (see :func:`flat`) wires channels
+with arithmetic identical to no topology at all — the layer is a strict
+generalisation, pinned by the WAN≡LAN equivalence tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from .network import GIGABIT_BPS, LAN, LinkProfile
+
+__all__ = [
+    "Region",
+    "Topology",
+    "flat",
+    "wan3",
+    "wan5",
+    "named",
+    "TOPOLOGY_PACKS",
+]
+
+
+@dataclass(frozen=True)
+class Region:
+    """One named datacenter of a geo-distributed deployment."""
+
+    name: str
+    #: intra-region link profile (machines inside one region see this).
+    link: LinkProfile = LAN
+    #: NIC bandwidth of every machine placed in this region, bytes/s.
+    nic_bandwidth: float = GIGABIT_BPS
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Regions plus the inter-region latency/bandwidth matrices."""
+
+    regions: Tuple[Region, ...]
+    #: one-way inter-region propagation latency, seconds;
+    #: ``latency[i][j]`` is *added* to ``base.latency`` for traffic from
+    #: region ``i`` to region ``j``.  Square, diagonal ignored.
+    latency: Tuple[Tuple[float, ...], ...]
+    #: optional inter-region bottleneck bandwidth, bytes/s; empty means
+    #: unconstrained (``LinkProfile.bandwidth`` stays 0).  Square when
+    #: present, diagonal ignored.
+    bandwidth: Tuple[Tuple[float, ...], ...] = ()
+    #: cross-region base profile: jitter/TCP overhead/UDP loss of the
+    #: WAN path; its ``latency`` is the floor the matrix adds to.
+    base: LinkProfile = LAN
+    #: optional explicit node placement: ``placement[i]`` is the region
+    #: index of node ``i``.  Empty means round-robin by node index.
+    placement: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        count = len(self.regions)
+        if count < 1:
+            raise ValueError("a topology needs at least one region")
+        if len(self.latency) != count or any(
+            len(row) != count for row in self.latency
+        ):
+            raise ValueError(
+                "latency matrix must be %dx%d to match the regions" % (count, count)
+            )
+        if self.bandwidth and (
+            len(self.bandwidth) != count
+            or any(len(row) != count for row in self.bandwidth)
+        ):
+            raise ValueError(
+                "bandwidth matrix must be %dx%d when present" % (count, count)
+            )
+        if any(index < 0 or index >= count for index in self.placement):
+            raise ValueError("placement indices must name a region")
+
+    # ------------------------------------------------------------ placement
+    def node_region_index(self, index: int) -> int:
+        """Region index of node ``index`` (explicit pin or round-robin)."""
+        if self.placement:
+            if index < len(self.placement):
+                return self.placement[index]
+            # Nodes beyond the pinned prefix fall back to round-robin.
+        return index % len(self.regions)
+
+    def client_region_index(self, index: int) -> int:
+        """Region index of the ``index``-th attached client."""
+        return index % len(self.regions)
+
+    # ------------------------------------------------------------- profiles
+    def link_for(self, src_region: int, dst_region: int) -> LinkProfile:
+        """The link profile for traffic between two region indices.
+
+        Intra-region traffic sees the region's own profile; cross-region
+        traffic sees ``base`` with the matrix latency added and the
+        bottleneck bandwidth (when constrained) attached.
+        """
+        if src_region == dst_region:
+            return self.regions[src_region].link
+        extra = self.latency[src_region][dst_region]
+        bandwidth = (
+            self.bandwidth[src_region][dst_region] if self.bandwidth else 0.0
+        )
+        return replace(
+            self.base,
+            latency=self.base.latency + extra,
+            bandwidth=bandwidth,
+        )
+
+    def pair_profiles(self) -> Tuple[Tuple[LinkProfile, ...], ...]:
+        """The full region-pair profile matrix (computed once per wiring)."""
+        count = len(self.regions)
+        return tuple(
+            tuple(self.link_for(i, j) for j in range(count))
+            for i in range(count)
+        )
+
+
+def flat(
+    regions: int = 1,
+    link: LinkProfile = LAN,
+    nic_bandwidth: float = GIGABIT_BPS,
+) -> Topology:
+    """A degenerate topology equivalent to a flat LAN.
+
+    ``regions`` regions all carry ``link`` intra-region, the latency
+    matrix is all-zero, bandwidth is unconstrained and the cross-region
+    base profile is ``link`` itself — so every channel, regardless of
+    placement, is wired with exactly the profile a topology-free cluster
+    would use.  Seeded runs are byte-identical to the flat scenario
+    (the WAN≡LAN equivalence property, pinned by tests).
+    """
+    zero = tuple(tuple(0.0 for _ in range(regions)) for _ in range(regions))
+    return Topology(
+        regions=tuple(
+            Region("region%d" % i, link=link, nic_bandwidth=nic_bandwidth)
+            for i in range(regions)
+        ),
+        latency=zero,
+        base=link,
+    )
+
+
+#: WAN jitter: a few hundred microseconds of queueing variance on the
+#: long-haul path (vs 10 µs inside the LAN).
+_WAN_BASE = LinkProfile(jitter=300e-6)
+
+#: cross-region bottleneck: 100 Mbit/s per region pair, in bytes/s.
+_WAN_PIPE = 12_500_000.0
+
+
+def _symmetric(count: int, pairs: Dict[Tuple[int, int], float]):
+    matrix = [[0.0] * count for _ in range(count)]
+    for (i, j), value in pairs.items():
+        matrix[i][j] = matrix[j][i] = value
+    return tuple(tuple(row) for row in matrix)
+
+
+def _pipes(count: int) -> Tuple[Tuple[float, ...], ...]:
+    return tuple(
+        tuple(0.0 if i == j else _WAN_PIPE for j in range(count))
+        for i in range(count)
+    )
+
+
+def wan3() -> Topology:
+    """Three-region geo deployment: us-east, eu-west, ap-south.
+
+    One-way latencies approximate public inter-region RTT/2 figures.
+    Round-robin placement spreads 3f+1 replicas so each region holds at
+    most f+1 of them.
+    """
+    return Topology(
+        regions=(
+            Region("us-east"),
+            Region("eu-west"),
+            Region("ap-south"),
+        ),
+        latency=_symmetric(3, {
+            (0, 1): 0.040,
+            (0, 2): 0.090,
+            (1, 2): 0.070,
+        }),
+        bandwidth=_pipes(3),
+        base=_WAN_BASE,
+    )
+
+
+def wan5() -> Topology:
+    """Five-region geo deployment spanning four continents."""
+    return Topology(
+        regions=(
+            Region("us-east"),
+            Region("us-west"),
+            Region("eu-west"),
+            Region("ap-south"),
+            Region("sa-east"),
+        ),
+        latency=_symmetric(5, {
+            (0, 1): 0.030,
+            (0, 2): 0.040,
+            (0, 3): 0.090,
+            (0, 4): 0.060,
+            (1, 2): 0.070,
+            (1, 3): 0.065,
+            (1, 4): 0.085,
+            (2, 3): 0.070,
+            (2, 4): 0.095,
+            (3, 4): 0.160,
+        }),
+        bandwidth=_pipes(5),
+        base=_WAN_BASE,
+    )
+
+
+#: the named WAN scenario packs (resolvable from episode artifacts and
+#: the CLI without shipping the full matrices around).
+TOPOLOGY_PACKS = ("wan3", "wan5")
+
+
+def named(name: str) -> Topology:
+    """Resolve a topology pack by name; raises ``ValueError`` if unknown."""
+    if name == "wan3":
+        return wan3()
+    if name == "wan5":
+        return wan5()
+    raise ValueError(
+        "unknown topology pack %r (expected one of %s)" % (name, TOPOLOGY_PACKS)
+    )

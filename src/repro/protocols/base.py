@@ -105,6 +105,7 @@ class BftNode:
             on_ordered=self._on_ordered,
             on_view_entered=self._on_view_entered,
             primary_offset=0,
+            senders=machine.cluster.senders,
         )
         self.blacklist = ClientBlacklist()
         self.executed_ids = set()

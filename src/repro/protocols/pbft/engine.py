@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.common.batching import Batcher
-from repro.common.quorum import QuorumTracker
+from repro.common.quorum import QuorumTracker, SenderUniverse, VectorQuorumTracker
 from repro.crypto.costmodel import DIGEST_SIZE, CryptoCostModel
 from repro.crypto.primitives import Digest, MacAuthenticator
 from repro.sim.engine import Simulator
@@ -106,6 +106,7 @@ class OrderingInstance:
         guard: Optional[Callable[[Tuple], bool]] = None,
         on_view_entered: Optional[Callable[[int], None]] = None,
         primary_offset: Optional[int] = None,
+        senders: Optional[SenderUniverse] = None,
     ):
         self.sim = sim
         self.core = core
@@ -129,9 +130,24 @@ class OrderingInstance:
         self.log: Dict[int, _Entry] = {}
         self.pending: Dict = {}  # request_id -> item, awaiting ordering
         self._ordered_ids: Set = set()
-        self._prepare_votes = QuorumTracker(config.prepare_quorum)
-        self._commit_votes = QuorumTracker(config.commit_quorum)
-        self._checkpoint_votes = QuorumTracker(config.commit_quorum)
+        # Vote tracking: with a shared sender universe (one per cluster)
+        # the array-structured tracker interns each sender bit exactly
+        # once across every instance of every node — same semantics,
+        # byte-identical results, far less per-tracker state at n ≫ 4.
+        if senders is not None:
+            self._prepare_votes = VectorQuorumTracker(
+                config.prepare_quorum, senders
+            )
+            self._commit_votes = VectorQuorumTracker(
+                config.commit_quorum, senders
+            )
+            self._checkpoint_votes = VectorQuorumTracker(
+                config.commit_quorum, senders
+            )
+        else:
+            self._prepare_votes = QuorumTracker(config.prepare_quorum)
+            self._commit_votes = QuorumTracker(config.commit_quorum)
+            self._checkpoint_votes = QuorumTracker(config.commit_quorum)
         self._vc_votes: Dict[int, Dict[str, ViewChange]] = {}
         self._vc_voted_for = 0
         self.pending_view: Optional[int] = None

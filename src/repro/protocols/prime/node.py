@@ -30,7 +30,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.batching import Batcher
 from repro.common.cluster import Machine
-from repro.common.quorum import QuorumTracker
+from repro.common.quorum import VectorQuorumTracker
 from repro.common.statemachine import Service
 from repro.common.types import Reply, Request
 from repro.crypto.blacklist import ClientBlacklist
@@ -98,11 +98,12 @@ class PrimeNode:
         self.seq = 0
         self._bundle_counter = 0
         self.bundles: Dict[Tuple[str, int], Tuple] = {}
-        self._ack_votes = QuorumTracker(2 * config.f)
+        senders = machine.cluster.senders
+        self._ack_votes = VectorQuorumTracker(2 * config.f, senders)
         self.aru: Dict[str, int] = {"node%d" % i: 0 for i in range(config.n)}
         self.covered: Dict[str, int] = dict(self.aru)
-        self._echo_votes = QuorumTracker(2 * config.f)
-        self._ready_votes = QuorumTracker(2 * config.f + 1)
+        self._echo_votes = VectorQuorumTracker(2 * config.f, senders)
+        self._ready_votes = VectorQuorumTracker(2 * config.f + 1, senders)
         self._order_log: Dict[int, PrimeOrder] = {}
         self._echoed: set = set()
         self._readied: set = set()
@@ -120,7 +121,7 @@ class PrimeNode:
         self._pings_in_flight: Dict[int, float] = {}
         self._ping_nonce = 0
         self._last_order_seen = sim.now
-        self._suspect_votes = QuorumTracker(2 * config.f + 1)
+        self._suspect_votes = VectorQuorumTracker(2 * config.f + 1, senders)
         self.suspicions_voted = 0
         self.view_changes = 0
 

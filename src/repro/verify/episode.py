@@ -53,6 +53,11 @@ class EpisodeSpec:
     min_monitor_requests: int = 10
     flood_threshold: int = 32
     protocol: str = "rbft"  # a registry name from RBFT_FAMILY
+    #: geo-distributed layout: a named topology pack from
+    #: :data:`repro.net.topology.TOPOLOGY_PACKS` ("wan3", "wan5"), or
+    #: "" for the flat LAN.  A pack *name* rather than a Topology value
+    #: keeps the spec JSON-serialisable and replay artifacts readable.
+    topology: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         record = asdict(self)
@@ -62,6 +67,8 @@ class EpisodeSpec:
         # must stay byte-identical — omit the default.
         if record["protocol"] == "rbft":
             del record["protocol"]
+        if not record["topology"]:  # same rule for pre-WAN artifacts
+            del record["topology"]
         return record
 
     @classmethod
@@ -158,9 +165,14 @@ def run_episode(
         order_full_requests=(spec.protocol == "rbft-full-order"),
     )
     variant = protocol_registry.get(spec.protocol)
+    build_kwargs = dict(variant.build_kwargs)
+    if spec.topology:
+        from repro.net.topology import named
+
+        build_kwargs["topology"] = named(spec.topology)
     deployment = variant.builder(
         config, n_clients=spec.n_clients, seed=spec.seed,
-        **dict(variant.build_kwargs)
+        **build_kwargs
     )
     if mutate is not None:
         mutate(deployment)

@@ -1,0 +1,124 @@
+"""Regression tests for Cluster.rewire: no stale channel caches.
+
+``Machine.broadcast_to_nodes`` and ``ClientPort.broadcast`` memoise
+their fan-out channel lists, and every endpoint keeps per-destination
+channel dicts plus an ``_inbound`` registration list.  Rebinding a
+deployment to a different topology creates brand-new Channel objects;
+if any of those caches survived, later traffic would ride the old,
+disconnected channels — delivered nowhere, or with the previous
+topology's latency.  These tests rebuild the wiring twice with
+different region maps and assert the caches were invalidated.
+"""
+
+from repro.common import Cluster, ClusterConfig
+from repro.net.message import Message
+from repro.net.topology import flat, wan3, wan5
+from repro.sim import Simulator
+
+
+class Ping(Message):
+    __slots__ = ()
+
+
+def _collect(machines):
+    inboxes = {machine.name: [] for machine in machines}
+    for machine in machines:
+        machine.handler = inboxes[machine.name].append
+    return inboxes
+
+
+def test_rewire_replaces_node_channels():
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=1, topology=wan3()))
+    old_channels = dict(cluster.machines[0].channels_to_nodes)
+    # Materialise the broadcast cache under the old wiring.
+    inboxes = _collect(cluster.machines)
+    cluster.machines[0].broadcast_to_nodes(Ping("node0"))
+    sim.run()
+    assert all(len(inboxes[m.name]) == 1 for m in cluster.machines[1:])
+
+    cluster.rewire(wan5())
+    for name, channel in cluster.machines[0].channels_to_nodes.items():
+        assert channel is not old_channels[name], "stale channel survived rewire"
+
+    cluster.machines[0].broadcast_to_nodes(Ping("node0"))
+    sim.run()
+    # Delivered exactly once more — on the new channels, not the old.
+    assert all(len(inboxes[m.name]) == 2 for m in cluster.machines[1:])
+
+
+def test_rewire_updates_latency_arithmetic():
+    def broadcast_span(cluster, sim):
+        inboxes = _collect(cluster.machines)
+        start = sim.now
+        cluster.machines[0].broadcast_to_nodes(Ping("node0"))
+        sim.run()
+        arrival = {}
+        for machine in cluster.machines[1:]:
+            assert len(inboxes[machine.name]) >= 1
+            arrival[machine.name] = sim.now - start
+        return arrival
+
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=1))
+    flat_span = max(broadcast_span(cluster, sim).values())
+
+    cluster.rewire(wan3())
+    wan_span = max(broadcast_span(cluster, sim).values())
+    # node0 (us-east) -> node2 (ap-south) pays ~90 ms of one-way matrix
+    # latency; the flat LAN pays microseconds.
+    assert wan_span > flat_span + 0.05
+
+    cluster.rewire(None)
+    back_span = max(broadcast_span(cluster, sim).values())
+    assert back_span < 0.01
+
+
+def test_rewire_rebinds_client_ports():
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=1))
+    port = cluster.add_client("client0")
+    received = []
+    port.handler = received.append
+    old_up = dict(port.channels_to_nodes)
+
+    cluster.rewire(wan3())
+    assert port.region == "us-east"
+    for name, channel in port.channels_to_nodes.items():
+        assert channel is not old_up[name]
+
+    inboxes = _collect(cluster.machines)
+    port.broadcast(Ping("client0"))
+    sim.run()
+    assert all(len(inbox) == 1 for inbox in inboxes.values())
+    cluster.machines[0].send_to_client("client0", Ping("node0"))
+    sim.run()
+    assert len(received) == 1
+
+
+def test_rewire_updates_region_metadata_and_nic_bandwidth():
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=1, topology=wan3()))
+    assert [m.region for m in cluster.machines] == [
+        "us-east", "eu-west", "ap-south", "us-east",
+    ]
+    cluster.rewire(wan5())
+    assert [m.region for m in cluster.machines] == [
+        "us-east", "us-west", "eu-west", "ap-south",
+    ]
+    cluster.rewire(None)
+    assert all(m.region is None for m in cluster.machines)
+    assert all(
+        m.client_nic.bandwidth == cluster.config.nic_bandwidth
+        for m in cluster.machines
+    )
+
+
+def test_rewire_equivalent_flat_topology_preserves_wiring_order():
+    """Rewiring to flat(k) recreates the same channel graph shape."""
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=1))
+    before = [(c.src, c.dst) for c in cluster.network.channels]
+    cluster.rewire(flat(3))
+    after = [(c.src, c.dst) for c in cluster.network.channels]
+    assert after == before

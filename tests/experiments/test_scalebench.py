@@ -1,0 +1,105 @@
+"""Unit tests for the scale benchmark harness (no full ladder runs)."""
+
+import json
+
+import pytest
+
+from repro.experiments.scalebench import (
+    SCALE_POINTS,
+    WAN_PACK,
+    WAN_POINT,
+    _scale_point,
+    check_regression,
+)
+from repro.net.topology import TOPOLOGY_PACKS
+from repro.protocols import registry
+
+
+def _record(events_per_sec=1000.0, baseline=None, **point_overrides):
+    point = {
+        "f": 1,
+        "n": 4,
+        "offered_rps": 2000.0,
+        "throughput_rps": 1900.0,
+        "kreq_per_sec": 1.9,
+        "completed": 600,
+        "events": 100_000,
+        "wall_clock_s": 1.0,
+    }
+    point.update(point_overrides)
+    record = {
+        "schema": "rbft-bench-scale/1",
+        "events_per_sec": events_per_sec,
+        "curves": {"pbft": [point]},
+        "wan": dict(point, protocol="rbft", topology="wan3"),
+    }
+    if baseline is not None:
+        record["baseline"] = {"path": None, "events_per_sec": baseline}
+    return record
+
+
+def test_ladder_covers_every_protocol_and_reaches_148():
+    protocols = {p for p, _, _, _ in SCALE_POINTS}
+    assert protocols == set(registry.names()) - {
+        "rbft-udp", "rbft-full-order", "aardvark-no-vc",
+    }
+    assert max(3 * f + 1 for _, f, _, _ in SCALE_POINTS) == 148
+    # RBFT's ladder is deliberately shorter (see the module docstring).
+    assert max(3 * f + 1 for p, f, _, _ in SCALE_POINTS if p == "rbft") == 64
+    assert WAN_PACK in TOPOLOGY_PACKS
+    assert WAN_POINT[0] == "rbft"
+
+
+def test_check_regression_passes_without_baseline():
+    assert check_regression(_record()) is None
+
+
+def test_check_regression_flags_events_per_sec_floor():
+    record = _record(events_per_sec=700.0, baseline=1000.0)
+    violation = check_regression(record, baseline=None)
+    assert violation is not None and "regressed" in violation
+
+
+def test_check_regression_flags_deterministic_drift():
+    record = _record(events_per_sec=1000.0, baseline=1000.0)
+    baseline = json.loads(json.dumps(_record()))
+    baseline["curves"]["pbft"][0]["events"] = 100_001
+    violation = check_regression(record, baseline=baseline)
+    assert violation is not None and "drifted" in violation
+    assert "pbft f=1" in violation
+
+
+def test_check_regression_flags_wan_drift():
+    record = _record(events_per_sec=1000.0, baseline=1000.0)
+    baseline = json.loads(json.dumps(_record()))
+    baseline["wan"]["completed"] = 599
+    violation = check_regression(record, baseline=baseline)
+    assert violation is not None and "wan" in violation
+
+
+def test_check_regression_flags_vanished_point():
+    record = _record(events_per_sec=1000.0, baseline=1000.0)
+    baseline = json.loads(json.dumps(_record()))
+    baseline["curves"]["pbft"].append(
+        dict(baseline["curves"]["pbft"][0], f=5, n=16)
+    )
+    violation = check_regression(record, baseline=baseline)
+    assert violation is not None and "vanished" in violation
+
+
+def test_check_regression_accepts_identical_baseline():
+    record = _record(events_per_sec=1000.0, baseline=1000.0)
+    baseline = json.loads(json.dumps(_record()))
+    assert check_regression(record, baseline=baseline) is None
+
+
+def test_scale_point_is_deterministic_and_shaped():
+    first = _scale_point("pbft", 1, 2000.0, 0.05)
+    second = _scale_point("pbft", 1, 2000.0, 0.05)
+    for key in ("events", "completed", "throughput_rps", "kreq_per_sec"):
+        assert first[key] == second[key]
+    assert first["n"] == 4
+    assert first["events"] > 0
+    assert first["kreq_per_sec"] == pytest.approx(
+        first["throughput_rps"] / 1000.0, abs=1e-3
+    )

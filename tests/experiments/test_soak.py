@@ -1,0 +1,50 @@
+"""Unit tests for the soak gate's bound checking (no long runs)."""
+
+from repro.experiments.soak import LARGE_N_RATE, SOAK_BOUNDS, check_soak
+
+
+def _record(**overrides):
+    record = {
+        "soak": {
+            "peak_log_size": 900,
+            "throughput_rps": 15_000.0,
+        },
+        "large_n": {
+            "n": 148,
+            "peak_log_size": 101,
+            "throughput_rps": LARGE_N_RATE,
+        },
+        "bounds": dict(SOAK_BOUNDS),
+    }
+    for key, value in overrides.items():
+        section, field = key.split(".")
+        record[section][field] = value
+    return record
+
+
+def test_clean_record_passes():
+    assert check_soak(_record()) == []
+
+
+def test_large_n_log_leak_is_flagged():
+    violations = check_soak(_record(**{"large_n.peak_log_size": 5000}))
+    assert len(violations) == 1
+    assert "n=148" in violations[0] and "leak" in violations[0]
+
+
+def test_large_n_stall_is_flagged():
+    violations = check_soak(_record(**{"large_n.throughput_rps": 10.0}))
+    assert len(violations) == 1
+    assert "stalled" in violations[0]
+
+
+def test_small_n_bounds_still_checked():
+    violations = check_soak(_record(**{"soak.peak_log_size": 5000}))
+    assert len(violations) == 1
+    assert "leaking" in violations[0]
+
+
+def test_record_without_large_n_section_is_accepted():
+    record = _record()
+    del record["large_n"]
+    assert check_soak(record) == []

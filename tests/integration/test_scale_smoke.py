@@ -1,0 +1,80 @@
+"""Large-n smoke tests: hundreds of replicas, fault-free, bounded state.
+
+The topology/scale refactor exists so n = 100–300 replicas is practical;
+these tests pin that claim across the protocol matrix at n ∈ {16, 64,
+148}.  Three assertions per cell, all of which catch a distinct way a
+scale-out regression would show up:
+
+* **completion floor** — clients finish at least 40 % of the offered
+  requests inside the short window (liveness at scale; a
+  quorum-threshold bug at large f shows up here first — Prime's
+  pre-ordering phase leaves the least headroom, ~48 % at n = 148);
+* **bounded protocol logs** — the peak per-instance log size stays
+  inside the checkpoint collector's analytical envelope
+  (``watermark_window + checkpoint_interval``), so per-sequence state
+  does not balloon with n;
+* **no instance-change storms** — a fault-free run must never trigger
+  the monitoring protocol, however large the cluster.
+
+RBFT runs f+1 ordering instances per node — its certificate traffic is
+a factor of n beyond the single-instance protocols — so its ladder
+stops at n = 64 (the ``bench scale`` curve documents the same cut).
+"""
+
+import pytest
+
+from repro.experiments import SMOKE, Scenario, run
+from repro.protocols.pbft.engine import InstanceConfig
+
+PROTOCOLS = ("rbft", "aardvark", "spinning", "prime", "pbft")
+
+#: per-instance protocol-log envelope (see repro.experiments.soak).
+_DEFAULTS = InstanceConfig()
+LOG_BOUND = _DEFAULTS.watermark_window + _DEFAULTS.checkpoint_interval
+
+#: (f, offered rps, measured duration, warmup) per cluster size.
+_LOADS = {
+    16: (5, 1000.0, 0.20, 0.05),
+    64: (21, 500.0, 0.06, 0.02),
+    148: (49, 400.0, 0.08, 0.02),
+}
+
+
+def _cases():
+    for n, (f, rate, duration, warmup) in sorted(_LOADS.items()):
+        for protocol in PROTOCOLS:
+            if protocol == "rbft" and n > 64:
+                continue  # (f+1) x n^2 certificate traffic; see docstring
+            marks = [pytest.mark.slow] if n > 16 else []
+            yield pytest.param(
+                protocol, f, rate, duration, warmup,
+                id="%s-n%d" % (protocol, n), marks=marks,
+            )
+
+
+@pytest.mark.parametrize("protocol,f,rate,duration,warmup", _cases())
+def test_fault_free_at_scale(protocol, f, rate, duration, warmup):
+    result = run(Scenario(
+        protocol=protocol,
+        f=f,
+        rate=rate,
+        seed=5,
+        scale=SMOKE,
+        duration=duration,
+        warmup=warmup,
+        n_clients=4,
+        track_log_sizes=True,
+    ))
+    offered = rate * duration
+    assert result.completed >= 0.4 * offered, (
+        "only %d of ~%.0f requests completed at n=%d"
+        % (result.completed, offered, 3 * f + 1)
+    )
+    assert result.peak_log_size <= LOG_BOUND, (
+        "peak log %d above the %d-entry envelope at n=%d"
+        % (result.peak_log_size, LOG_BOUND, 3 * f + 1)
+    )
+    assert result.instance_changes == 0, (
+        "fault-free run triggered %d instance changes at n=%d"
+        % (result.instance_changes, 3 * f + 1)
+    )

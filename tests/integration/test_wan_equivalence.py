@@ -1,0 +1,59 @@
+"""WAN ≡ LAN equivalence: the topology layer is a strict generalisation.
+
+For every registry protocol variant, a degenerate topology — zero
+inter-region latency, unconstrained bandwidth, every region profile
+equal to the flat link (:func:`repro.net.topology.flat`) — must wire
+channels with arithmetic identical to no topology at all, so the seeded
+run produces a **byte-identical** RunResult.  This is the property that
+lets the geo layer ship without re-validating every figure of the
+paper: the flat path is untouched by construction, and these tests pin
+it per protocol.
+"""
+
+import pytest
+
+from repro.experiments import SMOKE, Scenario, run
+from repro.net.topology import flat, wan3
+from repro.protocols import registry
+
+
+def _scenario(protocol, **overrides):
+    base = dict(
+        protocol=protocol,
+        rate=1500.0,
+        seed=11,
+        scale=SMOKE,
+        duration=0.2,
+        warmup=0.05,
+        n_clients=4,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+@pytest.mark.parametrize("protocol", registry.names())
+def test_flat_topology_is_byte_identical_to_lan(protocol):
+    lan = run(_scenario(protocol))
+    wan = run(_scenario(protocol, topology=flat(3)))
+    assert wan == lan
+
+
+def test_flat_single_region_is_byte_identical_too():
+    lan = run(_scenario("rbft"))
+    wan = run(_scenario("rbft", topology=flat(1)))
+    assert wan == lan
+
+
+def test_wan_topology_actually_changes_the_run():
+    """Sanity: a real WAN matrix must NOT be equivalent to the LAN."""
+    lan = run(_scenario("rbft"))
+    wan = run(_scenario("rbft", topology=wan3()))
+    assert wan != lan
+    # cross-region quorum paths add tens of milliseconds of latency
+    assert wan.mean_latency > lan.mean_latency + 0.02
+
+
+def test_wan_runs_are_deterministic():
+    first = run(_scenario("rbft", topology=wan3()))
+    second = run(_scenario("rbft", topology=wan3()))
+    assert first == second

@@ -38,6 +38,36 @@ def test_delivery_includes_tx_latency_and_rx():
     assert inbox[0][0] == pytest.approx(2.1)
 
 
+def test_bottleneck_bandwidth_adds_serialisation_delay():
+    sim = Simulator()
+    profile = LinkProfile(
+        latency=0.1, jitter=0.0, tcp_overhead=0.0, bandwidth=500.0
+    )
+    _, channel, inbox = make_pair(sim, profile)
+    channel.send(Blob("a", body_size=952))  # wire size 1000 -> +2s on the pipe
+    sim.run()
+    assert len(inbox) == 1
+    assert inbox[0][0] == pytest.approx(4.1)  # 1 tx + 0.1 + 2 pipe + 1 rx
+
+
+def test_zero_bandwidth_means_unconstrained():
+    sim1 = Simulator()
+    profile = LinkProfile(latency=0.1, jitter=0.0, tcp_overhead=0.0)
+    _, channel, inbox = make_pair(sim1, profile)
+    channel.send(Blob("a", body_size=952))
+    sim1.run()
+
+    sim2 = Simulator()
+    constrained = LinkProfile(
+        latency=0.1, jitter=0.0, tcp_overhead=0.0, bandwidth=0.0
+    )
+    _, channel2, inbox2 = make_pair(sim2, constrained)
+    channel2.send(Blob("a", body_size=952))
+    sim2.run()
+
+    assert inbox2[0][0] == pytest.approx(inbox[0][0])
+
+
 def test_tcp_preserves_fifo_order():
     sim = Simulator()
     _, channel, inbox = make_pair(sim)

@@ -1,0 +1,119 @@
+"""Unit tests for the geo-topology layer (regions, matrices, placement)."""
+
+import pickle
+
+import pytest
+
+from repro.net import GIGABIT_BPS, LinkProfile, Region, Topology, flat, named
+from repro.net.network import LAN
+from repro.net.topology import TOPOLOGY_PACKS, wan3, wan5
+
+
+def test_round_robin_placement_spreads_replicas():
+    topology = wan3()
+    regions = [topology.node_region_index(i) for i in range(10)]
+    assert regions == [0, 1, 2, 0, 1, 2, 0, 1, 2, 0]
+    # 3f+1 = 10 replicas across 3 regions: at most f+1 = 4 per region,
+    # so no region holds a 2f+1 = 7 quorum by itself.
+    assert max(regions.count(r) for r in set(regions)) == 4
+    assert [topology.client_region_index(i) for i in range(4)] == [0, 1, 2, 0]
+
+
+def test_explicit_placement_pins_prefix_and_falls_back():
+    topology = Topology(
+        regions=(Region("a"), Region("b")),
+        latency=((0.0, 0.01), (0.01, 0.0)),
+        placement=(1, 1, 0),
+    )
+    assert [topology.node_region_index(i) for i in range(5)] == [1, 1, 0, 1, 0]
+
+
+def test_intra_region_traffic_sees_the_region_link():
+    lan2 = LinkProfile(latency=123e-6)
+    topology = Topology(
+        regions=(Region("a", link=lan2), Region("b")),
+        latency=((0.0, 0.05), (0.05, 0.0)),
+    )
+    assert topology.link_for(0, 0) is lan2
+    assert topology.link_for(1, 1) is LAN
+
+
+def test_cross_region_traffic_adds_matrix_latency_and_bandwidth():
+    base = LinkProfile(latency=1e-3, jitter=2e-4)
+    topology = Topology(
+        regions=(Region("a"), Region("b")),
+        latency=((0.0, 0.05), (0.07, 0.0)),
+        bandwidth=((0.0, 1e6), (2e6, 0.0)),
+        base=base,
+    )
+    forward = topology.link_for(0, 1)
+    assert forward.latency == pytest.approx(1e-3 + 0.05)
+    assert forward.jitter == base.jitter
+    assert forward.bandwidth == 1e6
+    reverse = topology.link_for(1, 0)
+    assert reverse.latency == pytest.approx(1e-3 + 0.07)
+    assert reverse.bandwidth == 2e6
+
+
+def test_pair_profiles_matches_link_for():
+    topology = wan5()
+    profiles = topology.pair_profiles()
+    for i in range(5):
+        for j in range(5):
+            assert profiles[i][j] == topology.link_for(i, j)
+
+
+def test_flat_topology_profiles_equal_the_flat_link():
+    topology = flat(3)
+    for i in range(3):
+        for j in range(3):
+            assert topology.link_for(i, j) == LAN
+        assert topology.regions[i].nic_bandwidth == GIGABIT_BPS
+
+
+def test_validation_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        Topology(regions=(), latency=())
+    with pytest.raises(ValueError):
+        Topology(regions=(Region("a"),), latency=((0.0, 0.0),))
+    with pytest.raises(ValueError):
+        Topology(
+            regions=(Region("a"), Region("b")),
+            latency=((0.0, 0.01), (0.01, 0.0)),
+            bandwidth=((0.0,),),
+        )
+    with pytest.raises(ValueError):
+        Topology(
+            regions=(Region("a"),),
+            latency=((0.0,),),
+            placement=(1,),
+        )
+
+
+def test_topology_is_hashable_and_picklable():
+    topology = wan3()
+    assert hash(topology) == hash(wan3())
+    clone = pickle.loads(pickle.dumps(topology))
+    assert clone == topology
+    assert clone.pair_profiles() == topology.pair_profiles()
+
+
+def test_named_packs_resolve():
+    assert named("wan3") == wan3()
+    assert named("wan5") == wan5()
+    assert set(TOPOLOGY_PACKS) == {"wan3", "wan5"}
+    with pytest.raises(ValueError):
+        named("wan9")
+
+
+def test_wan_packs_are_symmetric_and_constrained():
+    for pack in TOPOLOGY_PACKS:
+        topology = named(pack)
+        count = len(topology.regions)
+        for i in range(count):
+            assert topology.latency[i][i] == 0.0
+            for j in range(count):
+                assert topology.latency[i][j] == topology.latency[j][i]
+                if i != j:
+                    assert topology.latency[i][j] > 0.0
+                    assert topology.bandwidth[i][j] > 0.0

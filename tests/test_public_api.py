@@ -18,6 +18,7 @@ TOP_LEVEL_API = [
     "run",
     "RunResult",
     "Simulator",
+    "Topology",
 ]
 
 #: the stable experiment surface, exactly.
@@ -60,6 +61,8 @@ EXPERIMENTS_API = [
     "write_kernel_bench",
     "run_protocol_bench",
     "write_protocol_bench",
+    "run_scale_bench",
+    "write_scale_bench",
     "MesoConfig",
     "run_meso_bench",
     "write_meso_bench",

@@ -40,6 +40,24 @@ def test_episode_spec_round_trips_through_json():
     assert EpisodeSpec.from_json(spec.to_json()) == spec
 
 
+def test_episode_spec_omits_default_topology_for_artifact_compat():
+    # Pre-WAN artifacts carry no "topology" key; regenerating them must
+    # stay byte-identical (same rule as the "protocol" field).
+    assert "topology" not in EpisodeSpec(seed=1).to_dict()
+    wan = EpisodeSpec(seed=1, topology="wan3")
+    assert wan.to_dict()["topology"] == "wan3"
+    assert EpisodeSpec.from_json(wan.to_json()) == wan
+
+
+def test_wan_episode_is_deterministic_and_distinct():
+    flat = run_episode(EpisodeSpec(seed=7, **SHORT))
+    first = run_episode(EpisodeSpec(seed=7, topology="wan3", **SHORT))
+    second = run_episode(EpisodeSpec(seed=7, topology="wan3", **SHORT))
+    assert first.ok, first.violations
+    assert first.digest == second.digest
+    assert first.digest != flat.digest  # the geo layout must matter
+
+
 def test_make_spec_is_deterministic():
     assert make_spec(0, 5) == make_spec(0, 5)
     assert make_spec(0, 5) != make_spec(0, 6)
