@@ -16,10 +16,13 @@ The package is organised bottom-up:
 
 Quickstart::
 
-    from repro import Scenario, run
+    from repro import Scenario, Workload, run
 
     result = run(Scenario(protocol="rbft", attack="rbft-worst1"))
     print(result.executed_rate)
+
+    # a million-user day-in-the-life population, aggregated:
+    result = run(Scenario(protocol="rbft", workload="diurnal"))
 
 The names in ``__all__`` are the package's **stable public surface**
 (see ``docs/api.md`` for the stability policy); they are re-exported
@@ -32,6 +35,7 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "Scenario",
+    "Workload",
     "run",
     "RunResult",
     "Simulator",
@@ -40,6 +44,7 @@ __all__ = [
 
 _LAZY = {
     "Scenario": ("repro.experiments.scenario", "Scenario"),
+    "Workload": ("repro.clients.registry", "Workload"),
     "run": ("repro.experiments.scenario", "run"),
     "RunResult": ("repro.experiments.runner", "RunResult"),
     "Simulator": ("repro.sim.engine", "Simulator"),

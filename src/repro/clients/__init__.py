@@ -1,14 +1,43 @@
-"""Open-loop clients and workload generation."""
+"""Open-loop clients, populations and workload generation."""
 
 from .closedloop import ClosedLoopClient
 from .openloop import OpenLoopClient
-from .workloads import LoadGenerator, RateProfile, dynamic_profile, static_profile
+from .population import ClientPopulation
+from .registry import (
+    POPULATION_THRESHOLD,
+    Workload,
+    WorkloadSpec,
+    build_profile,
+)
+from .registry import get as get_workload
+from .registry import names as workload_names
+from .workloads import (
+    LoadGenerator,
+    RateProfile,
+    churn_profile,
+    diurnal_profile,
+    dynamic_profile,
+    flash_crowd_profile,
+    heavy_mix_profile,
+    static_profile,
+)
 
 __all__ = [
     "ClosedLoopClient",
     "OpenLoopClient",
+    "ClientPopulation",
     "LoadGenerator",
     "RateProfile",
+    "Workload",
+    "WorkloadSpec",
+    "POPULATION_THRESHOLD",
+    "build_profile",
+    "get_workload",
+    "workload_names",
     "dynamic_profile",
     "static_profile",
+    "diurnal_profile",
+    "flash_crowd_profile",
+    "churn_profile",
+    "heavy_mix_profile",
 ]

@@ -1,0 +1,226 @@
+"""The workload registry: named traffic models behind a stable API.
+
+Mirrors the protocol registry (``repro.protocols.registry``): the
+experiment layer asks for workloads **by name** and receives a
+:class:`WorkloadSpec` that knows how to build the rate profile, pick a
+default client count and derive an offered rate from a capacity probe.
+``Scenario(workload=...)`` resolves through here; nothing outside this
+package constructs profile objects directly (``tools/lint_builders.py``
+enforces it).
+
+Two values make up the surface:
+
+* :class:`Workload` — a frozen value object replacing the scattered
+  ``load``/``rate``/``n_clients`` trio.  ``Workload("diurnal")`` is a
+  million-client day-in-the-life run; ``Workload("static", rate=2000.0,
+  clients=4)`` is the classic saturating load.
+* :class:`WorkloadSpec` — one registered pack: profile factory +
+  defaults.  :func:`register` adds new packs; :func:`names` lists them.
+
+Populations are opt-in per workload: ``population=None`` (the default)
+explodes small client counts into real simulator objects — keeping
+every pre-existing seeded run byte-identical — and aggregates only when
+the declared count reaches :data:`POPULATION_THRESHOLD`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .workloads import (
+    RateProfile,
+    churn_profile,
+    diurnal_profile,
+    dynamic_profile,
+    flash_crowd_profile,
+    heavy_mix_profile,
+    static_profile,
+)
+
+__all__ = [
+    "POPULATION_THRESHOLD",
+    "Workload",
+    "WorkloadSpec",
+    "register",
+    "get",
+    "names",
+    "build_profile",
+]
+
+#: declared client counts at or above this aggregate into a
+#: :class:`~repro.clients.population.ClientPopulation` unless the
+#: workload pins ``population`` explicitly.  Below it, clients explode
+#: into real objects — the regime every pre-population seeded run
+#: (n_clients ≤ 50) lives in, so their behaviour is untouched.
+POPULATION_THRESHOLD = 256
+
+#: legacy shape aliases accepted by :class:`Workload`.
+_ALIASES = {"dynamic": "spike"}
+
+
+@dataclass(frozen=True)
+class Workload:
+    """What load to offer: a named shape plus its knobs.
+
+    ``shape`` names a registered pack; ``rate`` is the aggregate offered
+    rate in requests/second (``None`` derives it from a capacity probe);
+    ``clients`` is the declared population size (``None`` uses the
+    pack's default); ``population`` forces (``True``) or forbids
+    (``False``) population aggregation, with ``None`` deciding by
+    :data:`POPULATION_THRESHOLD`; ``sampling`` picks how a population
+    assigns identities (``"paced"`` round-robin — byte-comparable to
+    exploded clients — or ``"uniform"`` random draws).
+    """
+
+    shape: str = "static"
+    rate: Optional[float] = None
+    clients: Optional[int] = None
+    population: Optional[bool] = None
+    sampling: str = "paced"
+
+    def __post_init__(self):
+        shape = _ALIASES.get(self.shape, self.shape)
+        if shape != self.shape:
+            object.__setattr__(self, "shape", shape)
+        get(shape)  # raises on unknown shapes
+        if self.sampling not in ("paced", "uniform"):
+            raise ValueError(
+                "unknown sampling %r (expected 'paced' or 'uniform')"
+                % (self.sampling,)
+            )
+        if self.clients is not None and self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError("rate must be positive")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registered workload pack."""
+
+    name: str
+    description: str
+    #: payload size -> default declared client count.
+    default_clients: Callable[[int], int]
+    #: (rate, duration, payload, clients) -> the rate profile.
+    profile_factory: Callable[[float, float, int, int], RateProfile]
+    #: probed single-run capacity -> offered rate when ``rate`` is None.
+    probe_rate: Callable[[float], float]
+    #: True when the workload's shape spans the whole run (spikes,
+    #: sinusoids): warmup defaults to 0 and the reported offered rate is
+    #: the profile's time average rather than the instantaneous rate.
+    whole_run: bool = False
+
+
+_REGISTRY: Dict[str, WorkloadSpec] = {}
+
+
+def register(spec: WorkloadSpec) -> WorkloadSpec:
+    """Add a workload pack; later registrations override earlier ones."""
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get(name: str) -> WorkloadSpec:
+    """Look up a pack by name (legacy aliases accepted)."""
+    _populate()
+    try:
+        return _REGISTRY[_ALIASES.get(name, name)]
+    except KeyError:
+        raise ValueError(
+            "unknown workload %r (expected one of %s)"
+            % (name, ", ".join(sorted(_REGISTRY)))
+        ) from None
+
+
+def names() -> List[str]:
+    """Canonical pack names, sorted."""
+    _populate()
+    return sorted(_REGISTRY)
+
+
+def build_profile(
+    name: str,
+    rate: float,
+    duration: float,
+    payload: int = 8,
+    clients: Optional[int] = None,
+) -> RateProfile:
+    """Build the named pack's profile (the one constructor entry point)."""
+    spec = get(name)
+    if clients is None:
+        clients = spec.default_clients(payload)
+    return spec.profile_factory(rate, duration, payload, clients)
+
+
+def _spike_clients(payload: int) -> int:
+    # §VI-A sizing: large payloads saturate with fewer clients.  The
+    # spike head count derives from the payload even when the declared
+    # client count is overridden — pre-registry seeded runs depend on it.
+    return 50 if payload <= 512 else 18
+
+
+def _populate() -> None:
+    if _REGISTRY:
+        return
+    register(WorkloadSpec(
+        name="static",
+        description="saturating constant load (§VI-A static workload)",
+        default_clients=lambda payload: 12,
+        # The profile's own active-client window stays at its classic
+        # value of 10 regardless of the declared count: seeded static
+        # runs round-robin over min(10, clients) identities.
+        profile_factory=lambda rate, duration, payload, clients:
+            static_profile(rate, duration),
+        probe_rate=lambda capacity: 1.25 * capacity,
+        whole_run=False,
+    ))
+    register(WorkloadSpec(
+        name="spike",
+        description="1→10→50→1 client spike (§VI-A dynamic workload)",
+        default_clients=_spike_clients,
+        profile_factory=lambda rate, duration, payload, clients:
+            dynamic_profile(rate, duration, spike_clients=_spike_clients(payload)),
+        probe_rate=lambda capacity: capacity / 12.0,
+        whole_run=True,
+    ))
+    register(WorkloadSpec(
+        name="diurnal",
+        description="day-in-the-life sinusoid over a million-user population",
+        default_clients=lambda payload: 1_000_000,
+        profile_factory=lambda rate, duration, payload, clients:
+            diurnal_profile(rate, duration, clients=clients),
+        probe_rate=lambda capacity: 0.9 * capacity,
+        whole_run=True,
+    ))
+    register(WorkloadSpec(
+        name="flash-crowd",
+        description="baseline load with a 5x surge window (generalised spike)",
+        default_clients=lambda payload: 1_000_000,
+        profile_factory=lambda rate, duration, payload, clients:
+            flash_crowd_profile(rate, duration, clients=clients),
+        # The surge multiplies the baseline 5x over 15% of the run;
+        # probe low enough that the surge itself stays near capacity.
+        probe_rate=lambda capacity: capacity / 6.0,
+        whole_run=True,
+    ))
+    register(WorkloadSpec(
+        name="churn",
+        description="constant load with the active identity window rolling "
+                    "through the population",
+        default_clients=lambda payload: 1_000_000,
+        profile_factory=lambda rate, duration, payload, clients:
+            churn_profile(rate, duration, clients=clients),
+        probe_rate=lambda capacity: 0.8 * capacity,
+        whole_run=False,
+    ))
+    register(WorkloadSpec(
+        name="heavy-mix",
+        description="constant load with periodic 1-4 KiB heavy requests",
+        default_clients=lambda payload: 10_000,
+        profile_factory=lambda rate, duration, payload, clients:
+            heavy_mix_profile(rate, duration, clients=clients),
+        probe_rate=lambda capacity: 0.5 * capacity,
+        whole_run=False,
+    ))

@@ -1,4 +1,4 @@
-"""Workload generation: static and dynamic loads (§VI-A).
+"""Workload generation: §VI-A loads plus day-in-the-life traffic models.
 
 The paper uses two workloads:
 
@@ -13,22 +13,38 @@ multiplied by a per-client request rate.  A single generator process
 produces the aggregate arrival stream, tagging arrivals with client
 identities round-robin over the active clients (so per-client fairness
 monitoring still sees individual clients).
+
+Beyond the paper, this module ships production-shaped profiles for the
+workload registry (:mod:`repro.clients.registry`): a quantized diurnal
+sinusoid, a flash crowd, rolling client churn and a heavy-request
+payload mix.  All are piecewise-constant with populated ``boundaries``
+so the mesoscale fast-forward mode can still bound its steady-state
+windows.
+
+Construct profiles through :func:`repro.clients.registry.build_profile`
+— the constructors here are the registry's implementation detail
+(enforced by ``tools/lint_builders.py``).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.sim.engine import Simulator
 
 from .openloop import OpenLoopClient
+from .population import ClientPopulation
 
 __all__ = [
     "RateProfile",
     "static_profile",
     "dynamic_profile",
+    "diurnal_profile",
+    "flash_crowd_profile",
+    "churn_profile",
+    "heavy_mix_profile",
     "LoadGenerator",
 ]
 
@@ -47,6 +63,15 @@ class RateProfile:
     #: fast-forward (the controller cannot bound a steady-state window
     #: without knowing where the load next shifts).
     boundaries: Optional[tuple] = None
+    #: rolling-churn support: maps time to the index of the first client
+    #: in the currently-active identity window.  ``None`` (the default)
+    #: keeps the classic fixed round-robin assignment.
+    window_fn: Optional[Callable[[float], int]] = None
+    #: per-request payload mix: a cyclic tuple of ``(payload_size,
+    #: exec_cost)`` overrides applied round-robin to generated requests;
+    #: ``None`` entries inside a pair fall through to the client/default
+    #: values.  ``None`` (the default) sends the plain request mix.
+    mix: Optional[Tuple[Tuple[Optional[int], Optional[float]], ...]] = None
 
     def rate(self, t: float) -> float:
         return max(0.0, self.rate_fn(t))
@@ -119,22 +144,154 @@ def dynamic_profile(
     )
 
 
+def diurnal_profile(
+    peak_rate: float,
+    duration: float,
+    clients: int = 10,
+    steps: int = 24,
+    floor: float = 0.1,
+) -> RateProfile:
+    """A day-in-the-life sinusoid quantized to ``steps`` constant levels.
+
+    The run maps onto one simulated "day": load starts near the
+    ``floor`` fraction of ``peak_rate`` (night), rises through a midday
+    peak and falls back.  Quantizing to piecewise-constant hourly levels
+    keeps the profile mesoscale-friendly: every level change is a
+    declared boundary.
+    """
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    step = duration / steps
+    levels = tuple(
+        peak_rate * (
+            floor
+            + (1.0 - floor) * 0.5 * (1.0 - math.cos(2.0 * math.pi * (i + 0.5) / steps))
+        )
+        for i in range(steps)
+    )
+
+    def rate_at(t: float) -> float:
+        return levels[min(steps - 1, max(0, int(t / step)))]
+
+    return RateProfile(
+        rate_at,
+        lambda t: clients,
+        duration,
+        boundaries=tuple(step * i for i in range(1, steps)),
+    )
+
+
+def flash_crowd_profile(
+    base_rate: float,
+    duration: float,
+    clients: int = 10,
+    surge: float = 5.0,
+    start: float = 0.45,
+    end: float = 0.60,
+) -> RateProfile:
+    """A flash crowd: baseline load with a ``surge``× burst window.
+
+    Outside the burst only a tenth of the declared population is
+    active; the burst window activates everyone at ``surge`` times the
+    baseline rate — the §VI-A spike generalised to arbitrary
+    population sizes.
+    """
+    if not 0.0 <= start < end <= 1.0:
+        raise ValueError("surge window must satisfy 0 <= start < end <= 1")
+    lo = start * duration
+    hi = end * duration
+
+    def rate_at(t: float) -> float:
+        return base_rate * surge if lo <= t < hi else base_rate
+
+    def active_at(t: float) -> int:
+        return clients if lo <= t < hi else max(1, clients // 10)
+
+    return RateProfile(rate_at, active_at, duration, boundaries=(lo, hi))
+
+
+def churn_profile(
+    rate: float,
+    duration: float,
+    clients: int = 10,
+    window_fraction: float = 0.1,
+) -> RateProfile:
+    """Rolling client churn: a sliding window of active identities.
+
+    The offered rate is constant, but the set of identities issuing
+    requests rolls through the whole declared population over the run —
+    ``window_fraction`` of the population is active at any instant, and
+    the window's start index advances linearly with time.  Exercises
+    blacklist/fairness state growth under identity turnover.
+    """
+    if not 0.0 < window_fraction <= 1.0:
+        raise ValueError("window_fraction must be in (0, 1]")
+    window = max(1, int(clients * window_fraction))
+    return RateProfile(
+        lambda t: rate,
+        lambda t: window,
+        duration,
+        boundaries=(),
+        window_fn=lambda t: int((t / duration) * clients) if duration > 0 else 0,
+    )
+
+
+def heavy_mix_profile(
+    rate: float,
+    duration: float,
+    clients: int = 10,
+    heavy_cost: float = 200e-6,
+) -> RateProfile:
+    """A payload mix with periodic heavy requests (Prime-attack shaped).
+
+    Seven of every eight requests are plain; the sixth carries a 1 KiB
+    payload and the eighth a 4 KiB payload with an inflated execution
+    cost — the "heavy requests" lever of §VI-C issued as legitimate
+    traffic, stressing batching and fairness under mixed request sizes.
+    """
+    return RateProfile(
+        lambda t: rate,
+        lambda t: clients,
+        duration,
+        boundaries=(),
+        mix=(
+            (None, None), (None, None), (None, None), (None, None),
+            (None, None), (1024, None), (None, None), (4096, heavy_cost),
+        ),
+    )
+
+
 class LoadGenerator:
-    """Drives a pool of open-loop clients according to a profile."""
+    """Drives a pool of open-loop clients according to a profile.
+
+    ``clients`` may be a sequence of :class:`OpenLoopClient` (each
+    request goes to one concrete client object) or a single
+    :class:`ClientPopulation` (requests carry sampled virtual
+    identities).  Either way, one generator process produces the
+    aggregate arrival stream.
+    """
 
     def __init__(
         self,
         sim: Simulator,
-        clients: Sequence[OpenLoopClient],
+        clients: Union[Sequence[OpenLoopClient], ClientPopulation],
         profile: RateProfile,
         rng,
         poisson: bool = True,
         send_kwargs: Optional[dict] = None,
     ):
-        if not clients:
-            raise ValueError("need at least one client")
+        if isinstance(clients, ClientPopulation):
+            self.population: Optional[ClientPopulation] = clients
+            # The population quacks like one client for the aggregate
+            # accessors below (sent/completed/latencies), so a
+            # population run is a one-element pool.
+            self.clients = [clients]
+        else:
+            if not clients:
+                raise ValueError("need at least one client")
+            self.population = None
+            self.clients = list(clients)
         self.sim = sim
-        self.clients = list(clients)
         self.profile = profile
         self.rng = rng
         self.poisson = poisson
@@ -166,10 +323,34 @@ class LoadGenerator:
             self._fire(self.sim.now - start)
 
     def _fire(self, t: float) -> None:
-        active = min(self.profile.active(t), len(self.clients))
-        client = self.clients[self._round_robin % active]
-        self._round_robin += 1
-        client.send_request(**self.send_kwargs)
+        profile = self.profile
+        kwargs = self.send_kwargs
+        if profile.mix is not None:
+            payload_size, exec_cost = profile.mix[self.generated % len(profile.mix)]
+            if payload_size is not None or exec_cost is not None:
+                kwargs = dict(kwargs)
+                if payload_size is not None:
+                    kwargs["payload_size"] = payload_size
+                if exec_cost is not None:
+                    kwargs["exec_cost"] = exec_cost
+        population = self.population
+        if population is not None:
+            if population.sampling == "uniform":
+                population.send_request(None, **kwargs)
+            else:
+                active = min(profile.active(t), population.size)
+                index = self._round_robin % active
+                if profile.window_fn is not None:
+                    index = (profile.window_fn(t) + index) % population.size
+                self._round_robin += 1
+                population.send_request(index, **kwargs)
+        else:
+            active = min(profile.active(t), len(self.clients))
+            index = self._round_robin % active
+            if profile.window_fn is not None:
+                index = (profile.window_fn(t) + index) % len(self.clients)
+            self._round_robin += 1
+            self.clients[index].send_request(**kwargs)
         self.generated += 1
 
     # ----------------------------------------------------------- aggregates

@@ -160,8 +160,27 @@ class Machine:
         else:
             Network.broadcast(channels, msg)
 
+    def channel_to_client(self, client: str) -> Optional[Channel]:
+        """Resolve the downlink for ``client``, aliasing population ids.
+
+        Population identities ("pop0#42") share their owner port's
+        channel; the resolution is memoised into the dict so the hot
+        reply path stays a single lookup.  ``rewire`` clears the dict,
+        so stale aliases cannot survive a topology change.
+        """
+        channel = self.channels_to_clients.get(client)
+        if channel is None and "#" in client:
+            owner = client.partition("#")[0]
+            channel = self.channels_to_clients.get(owner)
+            if channel is not None:
+                self.channels_to_clients[client] = channel
+        return channel
+
     def send_to_client(self, client: str, msg: Message) -> None:
-        self.channels_to_clients[client].send(msg)
+        channel = self.channel_to_client(client)
+        if channel is None:
+            raise KeyError(client)
+        channel.send(msg)
 
     def __repr__(self) -> str:
         return "Machine(%s)" % self.name
@@ -319,6 +338,11 @@ class Cluster:
     def add_client(self, name: str) -> ClientPort:
         if name in self.clients:
             raise ValueError("client %r already attached" % name)
+        if "#" in name:
+            # "#" separates a population name from its identity index
+            # ("pop0#42"); a literal port under such a name would
+            # shadow the alias resolution in ``channel_to_client``.
+            raise ValueError("client name %r may not contain '#'" % name)
         region_index = None
         if self.config.topology is not None:
             region_index = self.config.topology.client_region_index(

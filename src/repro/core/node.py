@@ -475,7 +475,7 @@ class RBFTNode:
         self.request_store.pop(request.request_id, None)
 
     def _send_reply(self, reply: Reply) -> None:
-        channel = self.machine.channels_to_clients.get(reply.client)
+        channel = self.machine.channel_to_client(reply.client)
         if channel is not None:
             channel.send(ReplyMsg(reply, Mac(self.name)))
 

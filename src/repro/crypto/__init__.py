@@ -1,6 +1,6 @@
 """Virtual cryptography: cost model, tags, blacklists."""
 
-from .blacklist import BoundedBlacklist, ClientBlacklist
+from .blacklist import BoundedBlacklist, ClientBlacklist, principal_owner
 from .costmodel import (
     DEFAULT_COST_MODEL,
     DIGEST_SIZE,
@@ -24,4 +24,5 @@ __all__ = [
     "Mac",
     "MacAuthenticator",
     "Signature",
+    "principal_owner",
 ]

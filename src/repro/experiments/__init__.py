@@ -1,5 +1,7 @@
 """Experiment harness: one runner per table/figure of the paper."""
 
+from repro.clients import Workload
+
 from .deployments import (
     Deployment,
     build_aardvark,
@@ -34,9 +36,15 @@ from .scenario import Scenario, run
 from .smoke import check_bounds, run_smoke, write_smoke
 from .soak import check_soak, run_soak, write_soak
 from .stats import SweepResult, seed_sweep
+from .workloadbench import (
+    check_workload,
+    run_workload_bench,
+    write_workload_bench,
+)
 
 __all__ = [
     "Scenario",
+    "Workload",
     "run",
     "Deployment",
     "build_aardvark",
@@ -76,6 +84,9 @@ __all__ = [
     "write_protocol_bench",
     "run_scale_bench",
     "write_scale_bench",
+    "run_workload_bench",
+    "check_workload",
+    "write_workload_bench",
     "MesoConfig",
     "run_meso_bench",
     "write_meso_bench",

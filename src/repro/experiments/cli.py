@@ -19,6 +19,14 @@ Beyond the paper's figures, three instrumentation commands::
     python -m repro.experiments bench protocol     # protocol hot-path benchmark
     python -m repro.experiments bench meso         # mesoscale speed+accuracy gate
     python -m repro.experiments bench scale        # kreq/s-vs-n scale-out curve
+    python -m repro.experiments bench workload     # million-client pack gate
+
+Traffic models are first-class: ``workloads`` lists the registered
+packs and ``run`` drives one scenario with any of them::
+
+    python -m repro.experiments workloads
+    python -m repro.experiments run --workload diurnal --clients 1000000
+    python -m repro.experiments smoke --workload flash-crowd
 
 Sweeps fan out across worker processes: ``--jobs N`` (or the
 ``REPRO_JOBS`` environment variable) sets the worker count, default
@@ -187,6 +195,53 @@ def _cmd_fig12(args) -> None:
     ))
 
 
+def _cmd_workloads(args) -> int:
+    from repro.clients import get_workload, workload_names
+
+    print("registered workload packs:")
+    for name in workload_names():
+        spec = get_workload(name)
+        print("  %-12s %s%s" % (
+            name, spec.description,
+            "  [whole-run]" if spec.whole_run else "",
+        ))
+    return EX_OK
+
+
+def _cmd_run(args) -> int:
+    from repro.clients import Workload
+
+    from .scenario import Scenario, run
+
+    try:
+        workload = Workload(
+            args.workload, rate=args.rate, clients=args.clients
+        )
+        scenario = Scenario(
+            protocol=args.protocol,
+            payload=args.payload,
+            workload=workload,
+            f=args.f,
+            seed=args.seed,
+            scale=current_scale(),
+            duration=args.duration,
+        )
+    except ValueError as exc:
+        print("run: %s" % exc, file=sys.stderr)
+        return EX_USAGE
+    result = run(scenario)
+    print(
+        "%s %s: %d declared clients | offered %.0f req/s | executed "
+        "%.0f req/s | %d completed | mean latency %.2f ms | p99 %.2f ms"
+        % (
+            result.protocol, result.workload, result.declared_clients,
+            result.offered_rate, result.executed_rate, result.completed,
+            result.mean_latency * 1e3, result.p99_latency * 1e3,
+        )
+    )
+    return EX_OK
+
+
 def _cmd_profile(args) -> int:
     from .profiling import profile_report
 
@@ -203,13 +258,18 @@ def _cmd_profile(args) -> int:
 def _cmd_smoke(args) -> int:
     from .smoke import write_smoke
 
-    return write_smoke(output=args.output, seed=args.seed, jobs=args.jobs)
+    return write_smoke(
+        output=args.output, seed=args.seed, jobs=args.jobs,
+        workload=args.workload,
+    )
 
 
 def _cmd_soak(args) -> int:
     from .soak import write_soak
 
-    return write_soak(output=args.output, seed=args.seed)
+    return write_soak(
+        output=args.output, seed=args.seed, workload=args.workload
+    )
 
 
 def _cmd_bench(args) -> int:
@@ -251,6 +311,13 @@ def _cmd_bench(args) -> int:
             repeat=args.repeat if args.repeat is not None else 3,
             check=args.check,
         )
+    if args.what == "workload":
+        from .workloadbench import write_workload_bench
+
+        return write_workload_bench(
+            output=args.output or "BENCH_workload.json",
+            check=args.check,
+        )
     from .kernelbench import (
         DEFAULT_BASELINE_PATH as kernel_baseline,
         write_kernel_bench,
@@ -276,6 +343,7 @@ def _cmd_explore(args) -> int:
         out_dir=args.out,
         duration=args.duration,
         rate=args.rate,
+        workload=args.workload,
     )
     for index, result in enumerate(report.results):
         status = "ok" if result.ok else "VIOLATION"
@@ -319,6 +387,7 @@ def _cmd_search(args) -> int:
             out_dir=args.out,
             duration=args.duration,
             rate=args.rate,
+            workload=args.workload,
         )
     except ValueError as exc:
         # Unknown strategy/protocol names are usage errors, not findings.
@@ -447,6 +516,36 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="worker processes for the sweep (default: "
                          "REPRO_JOBS or cpu_count()-1; 1 = serial)")
 
+    sub.add_parser(
+        "workloads",
+        help="list the registered workload packs (traffic models)",
+    )
+
+    run_cmd = sub.add_parser(
+        "run",
+        help="run one scenario with a named workload pack and print the "
+        "headline numbers",
+    )
+    run_cmd.add_argument("--workload", default="static",
+                         help="registered workload pack (see `workloads`)")
+    run_cmd.add_argument("--protocol", default="rbft",
+                         help="registry protocol variant")
+    run_cmd.add_argument("--rate", type=float, default=None,
+                         help="aggregate offered rate, requests/second "
+                         "(default: derived from a capacity probe)")
+    run_cmd.add_argument("--clients", type=int, default=None,
+                         help="declared client-population size "
+                         "(default: the pack's)")
+    run_cmd.add_argument("--payload", type=int, default=8,
+                         help="request payload size in bytes")
+    run_cmd.add_argument("--f", type=int, default=1,
+                         help="number of tolerated faults")
+    run_cmd.add_argument("--seed", type=int, default=0,
+                         help="experiment seed")
+    run_cmd.add_argument("--duration", type=float, default=None,
+                         help="measured window, simulated seconds "
+                         "(default: the scale's)")
+
     from .profiling import PROFILABLE
 
     profile = sub.add_parser(
@@ -475,6 +574,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     smoke.add_argument("--jobs", type=int, default=None,
                        help="worker processes (default: REPRO_JOBS or "
                        "cpu_count()-1; 1 = serial)")
+    smoke.add_argument("--workload", default=None,
+                       help="swap the smoke points' traffic shape for a "
+                       "registered workload pack (default: static)")
 
     soak = sub.add_parser(
         "soak",
@@ -485,6 +587,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="where to write the benchmark artifact")
     soak.add_argument("--seed", type=int, default=0,
                       help="experiment seed")
+    soak.add_argument("--workload", default=None,
+                      help="swap the main soak point's traffic shape for a "
+                      "registered workload pack (default: static)")
 
     bench = sub.add_parser(
         "bench",
@@ -493,7 +598,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "writes BENCH_meso.json (meso speed + accuracy gate), `bench "
         "scale` writes BENCH_scale.json (kreq/s-vs-n curve per protocol)",
     )
-    bench.add_argument("what", choices=["kernel", "protocol", "meso", "scale"],
+    bench.add_argument("what",
+                       choices=["kernel", "protocol", "meso", "scale",
+                                "workload"],
                        help="which benchmark to run")
     bench.add_argument("--output", default=None,
                        help="where to write the benchmark artifact "
@@ -525,6 +632,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="load window per episode, simulated seconds")
     explore.add_argument("--rate", type=float, default=1500.0,
                          help="offered load per episode, requests/second")
+    explore.add_argument("--workload", default="static",
+                         help="traffic shape per episode: a registered "
+                         "workload pack")
     explore.add_argument("--jobs", type=int, default=None,
                          help="worker processes (default: REPRO_JOBS or "
                          "cpu_count()-1; 1 = serial)")
@@ -551,6 +661,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                        "directories of them (e.g. benchmarks/adversary/)")
 
     args = parser.parse_args(argv)
+    if args.command == "workloads":
+        return _cmd_workloads(args)
+    if args.command == "run":
+        return _cmd_run(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "smoke":

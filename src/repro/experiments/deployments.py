@@ -2,6 +2,12 @@
 
 These are the entry points both the test suite and the benchmark harness
 use, so every experiment runs against identically wired hardware.
+
+Clients attach in one of two ways: ``n_clients`` explodes that many
+:class:`~repro.clients.openloop.OpenLoopClient` objects (the classic
+path — every pre-existing seeded run), or a ``clients_factory`` builds
+a single :class:`~repro.clients.population.ClientPopulation` carrying a
+declared population of any size behind one port.
 """
 
 from __future__ import annotations
@@ -9,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.clients import OpenLoopClient
+from repro.clients import ClientPopulation, OpenLoopClient
 from repro.common import Cluster, ClusterConfig, NullService, Service
 from repro.core import RBFTConfig, RBFTNode
 from repro.net.network import LinkProfile
@@ -39,16 +45,23 @@ class Deployment:
     nodes: list
     clients: List[OpenLoopClient]
     rng: RngTree
+    #: set when clients aggregate into one population event source;
+    #: ``clients`` is empty in that case.
+    population: Optional[ClientPopulation] = None
 
     def node(self, index: int):
         return self.nodes[index]
+
+    def client_units(self) -> list:
+        """The load-bearing client objects: the population, or the pool."""
+        return [self.population] if self.population is not None else self.clients
 
     def total_executed(self) -> int:
         """Executed requests as counted by node0 (a correct node)."""
         return self.nodes[0].executed_count
 
     def total_completed(self) -> int:
-        return sum(client.completed for client in self.clients)
+        return sum(unit.completed for unit in self.client_units())
 
 
 def _make_clients(cluster, count, payload):
@@ -56,6 +69,13 @@ def _make_clients(cluster, count, payload):
         OpenLoopClient(cluster, "client%d" % i, payload_size=payload)
         for i in range(count)
     ]
+
+
+def _attach_clients(cluster, count, payload, factory):
+    """Explode ``count`` clients, or delegate to a population factory."""
+    if factory is not None:
+        return [], factory(cluster, payload)
+    return _make_clients(cluster, count, payload), None
 
 
 def build_rbft(
@@ -67,6 +87,7 @@ def build_rbft(
     seed: int = 0,
     link: Optional[LinkProfile] = None,
     topology: Optional[Topology] = None,
+    clients_factory: Optional[Callable[[Cluster, int], ClientPopulation]] = None,
 ) -> Deployment:
     """An RBFT deployment (§V): 3f+1 machines, f+1 instances each."""
     config = config or RBFTConfig()
@@ -82,8 +103,8 @@ def build_rbft(
     nodes = [
         RBFTNode(machine, config, service_factory()) for machine in cluster.machines
     ]
-    clients = _make_clients(cluster, n_clients, payload)
-    return Deployment(sim, cluster, nodes, clients, RngTree(seed))
+    clients, population = _attach_clients(cluster, n_clients, payload, clients_factory)
+    return Deployment(sim, cluster, nodes, clients, RngTree(seed), population)
 
 
 def _cluster_config(
@@ -110,6 +131,7 @@ def build_aardvark(
     seed: int = 0,
     link: Optional[LinkProfile] = None,
     topology: Optional[Topology] = None,
+    clients_factory: Optional[Callable[[Cluster, int], ClientPopulation]] = None,
 ) -> Deployment:
     config = config or AardvarkConfig()
     sim = Simulator()
@@ -118,8 +140,8 @@ def build_aardvark(
         AardvarkNode(machine, config, service_factory())
         for machine in cluster.machines
     ]
-    clients = _make_clients(cluster, n_clients, payload)
-    return Deployment(sim, cluster, nodes, clients, RngTree(seed))
+    clients, population = _attach_clients(cluster, n_clients, payload, clients_factory)
+    return Deployment(sim, cluster, nodes, clients, RngTree(seed), population)
 
 
 def build_spinning(
@@ -130,6 +152,7 @@ def build_spinning(
     seed: int = 0,
     link: Optional[LinkProfile] = None,
     topology: Optional[Topology] = None,
+    clients_factory: Optional[Callable[[Cluster, int], ClientPopulation]] = None,
 ) -> Deployment:
     """Spinning runs over UDP multicast on a shared NIC (§VI-B)."""
     config = config or SpinningConfig()
@@ -145,8 +168,8 @@ def build_spinning(
         SpinningNode(machine, config, service_factory())
         for machine in cluster.machines
     ]
-    clients = _make_clients(cluster, n_clients, payload)
-    return Deployment(sim, cluster, nodes, clients, RngTree(seed))
+    clients, population = _attach_clients(cluster, n_clients, payload, clients_factory)
+    return Deployment(sim, cluster, nodes, clients, RngTree(seed), population)
 
 
 def build_prime(
@@ -157,6 +180,7 @@ def build_prime(
     seed: int = 0,
     link: Optional[LinkProfile] = None,
     topology: Optional[Topology] = None,
+    clients_factory: Optional[Callable[[Cluster, int], ClientPopulation]] = None,
 ) -> Deployment:
     config = config or PrimeConfig()
     sim = Simulator()
@@ -164,8 +188,8 @@ def build_prime(
     nodes = [
         PrimeNode(machine, config, service_factory()) for machine in cluster.machines
     ]
-    clients = _make_clients(cluster, n_clients, payload)
-    return Deployment(sim, cluster, nodes, clients, RngTree(seed))
+    clients, population = _attach_clients(cluster, n_clients, payload, clients_factory)
+    return Deployment(sim, cluster, nodes, clients, RngTree(seed), population)
 
 
 def build_pbft(
@@ -176,6 +200,7 @@ def build_pbft(
     seed: int = 0,
     link: Optional[LinkProfile] = None,
     topology: Optional[Topology] = None,
+    clients_factory: Optional[Callable[[Cluster, int], ClientPopulation]] = None,
 ) -> Deployment:
     """Plain PBFT — used by ablations, not by the paper's figures."""
     config = config or NodeConfig()
@@ -184,5 +209,5 @@ def build_pbft(
     nodes = [
         BftNode(machine, config, service_factory()) for machine in cluster.machines
     ]
-    clients = _make_clients(cluster, n_clients, payload)
-    return Deployment(sim, cluster, nodes, clients, RngTree(seed))
+    clients, population = _attach_clients(cluster, n_clients, payload, clients_factory)
+    return Deployment(sim, cluster, nodes, clients, RngTree(seed), population)

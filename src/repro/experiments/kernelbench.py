@@ -112,8 +112,12 @@ def _event_storm(
 
 def _fig7_point(seed: int = 0) -> Tuple[int, float, float]:
     """One fixed-rate RBFT run; return (events, wall, throughput)."""
+    from repro.clients import Workload
+
     scenario = Scenario(
-        protocol="rbft", payload=8, rate=FIG7_RATE, seed=seed, scale=SMOKE
+        protocol="rbft", payload=8,
+        workload=Workload("static", rate=FIG7_RATE, population=False),
+        seed=seed, scale=SMOKE,
     )
     start = time.perf_counter()
     result = run_scenario(scenario)

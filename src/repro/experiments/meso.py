@@ -81,7 +81,7 @@ def eligibility(deployment, profile) -> Optional[str]:
     for node in deployment.nodes:
         if not hasattr(node, "time_shift"):
             return "node class %s is not fast-forwardable" % type(node).__name__
-    for client in deployment.clients:
+    for client in deployment.client_units():
         if not hasattr(client, "time_shift"):
             return (
                 "client class %s is not fast-forwardable" % type(client).__name__

@@ -79,12 +79,14 @@ MESO_SEED = 0
 
 def _meso_point(mode: str) -> Tuple[object, float]:
     """One run of the workload; return (RunResult, wall clock)."""
+    from repro.clients import Workload
+
     from .scenario import Scenario, run
 
     scenario = Scenario(
         protocol="rbft",
         payload=8,
-        rate=MESO_RATE,
+        workload=Workload("static", rate=MESO_RATE, population=False),
         seed=MESO_SEED,
         scale=SMOKE,
         duration=MESO_DURATION,

@@ -38,6 +38,8 @@ import tempfile
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
+from repro.clients import Workload
+
 from . import runner
 from .scale import ScenarioScale, current_scale
 from .scenario import Scenario, run as run_scenario
@@ -58,7 +60,10 @@ class RunSpec:
     * ``"dynamic"`` — :func:`~repro.experiments.runner.run_dynamic`
       (``rate`` is the per-client rate, ``None`` probes);
     * ``"curve-point"`` — one fixed-rate latency/throughput measurement
-      (fig 7), with explicit ``duration``/``warmup``.
+      (fig 7), with explicit ``duration``/``warmup``;
+    * ``"workload"`` — one run of a named registry workload pack
+      (``workload``/``n_clients`` select the pack and declared
+      population; population aggregation follows the pack's defaults).
     """
 
     kind: str
@@ -72,6 +77,10 @@ class RunSpec:
     scale: Optional[ScenarioScale] = None
     duration: Optional[float] = None
     warmup: Optional[float] = None
+    #: registry pack name for ``kind="workload"`` specs.
+    workload: Optional[str] = None
+    #: declared client count for ``kind="workload"`` specs.
+    n_clients: Optional[int] = None
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -97,22 +106,36 @@ def _execute_spec(spec: RunSpec):
         )
     if spec.kind == "static":
         return run_scenario(Scenario(
-            protocol=spec.protocol, payload=spec.payload, load="static",
-            rate=spec.rate, attack=spec.attack, f=spec.f, seed=spec.seed,
+            protocol=spec.protocol, payload=spec.payload,
+            workload=Workload("static", rate=spec.rate, population=False),
+            attack=spec.attack, f=spec.f, seed=spec.seed,
             exec_cost=spec.exec_cost, scale=spec.scale,
         ))
     if spec.kind == "dynamic":
         return run_scenario(Scenario(
-            protocol=spec.protocol, payload=spec.payload, load="dynamic",
-            rate=spec.rate, attack=spec.attack, f=spec.f, seed=spec.seed,
+            protocol=spec.protocol, payload=spec.payload,
+            workload=Workload("spike", rate=spec.rate, population=False),
+            attack=spec.attack, f=spec.f, seed=spec.seed,
             exec_cost=spec.exec_cost, scale=spec.scale,
         ))
     if spec.kind == "curve-point":
         # A curve point is a static run with a pinned rate and an
         # explicit (shorter) measurement window.
         return run_scenario(Scenario(
-            protocol=spec.protocol, payload=spec.payload, load="static",
-            rate=spec.rate, f=spec.f, seed=spec.seed,
+            protocol=spec.protocol, payload=spec.payload,
+            workload=Workload("static", rate=spec.rate, population=False),
+            f=spec.f, seed=spec.seed,
+            exec_cost=spec.exec_cost, scale=spec.scale,
+            duration=spec.duration, warmup=spec.warmup,
+        ))
+    if spec.kind == "workload":
+        return run_scenario(Scenario(
+            protocol=spec.protocol, payload=spec.payload,
+            workload=Workload(
+                spec.workload or "static", rate=spec.rate,
+                clients=spec.n_clients,
+            ),
+            attack=spec.attack, f=spec.f, seed=spec.seed,
             exec_cost=spec.exec_cost, scale=spec.scale,
             duration=spec.duration, warmup=spec.warmup,
         ))

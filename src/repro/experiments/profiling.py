@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.clients import LoadGenerator, static_profile
+from repro.clients import LoadGenerator, build_profile
 from repro.trace import (
     K_CORE_JOB,
     K_INSTANCE_CHANGE,
@@ -84,7 +84,7 @@ def profile_run(
     generator = LoadGenerator(
         deployment.sim,
         deployment.clients,
-        static_profile(1.25 * capacity, scale.duration),
+        build_profile("static", 1.25 * capacity, scale.duration),
         deployment.rng.stream("load"),
         send_kwargs=send_kwargs,
     )

@@ -60,12 +60,14 @@ BENCH_SEED = 7
 
 def _protocol_point(attack: Optional[str], rate: float) -> Tuple[int, float, float]:
     """One fixed-rate RBFT run; return (events, wall, executed rate)."""
+    from repro.clients import Workload
+
     from .scenario import Scenario, run
 
     scenario = Scenario(
         protocol="rbft",
         payload=8,
-        rate=rate,
+        workload=Workload("static", rate=rate, population=False),
         attack=attack,
         seed=BENCH_SEED,
         scale=SMOKE,

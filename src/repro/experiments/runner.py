@@ -23,7 +23,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.clients import LoadGenerator, static_profile
+from repro.clients import LoadGenerator, Workload, build_profile
 from repro.common import NullService
 from repro.core import RBFTConfig
 from repro.faults import (
@@ -137,6 +137,11 @@ class RunResult:
     #: why a ``mode="meso"`` scenario fell back to exact execution
     #: (attack armed, tracing attached, ...); None when it did not.
     meso_fallback: Optional[str] = None
+    #: workload pack the run offered (see repro.clients.registry).
+    workload: str = "static"
+    #: declared client-population size; 0 when the run was driven
+    #: outside the Scenario path (probes, hand-built generators).
+    declared_clients: int = 0
 
 
 def make_deployment(
@@ -149,8 +154,15 @@ def make_deployment(
     n_clients: int = 12,
     link: Optional[LinkProfile] = None,
     topology: Optional[Topology] = None,
+    clients_factory: Optional[Callable] = None,
 ) -> Deployment:
-    """Stand up one of the protocol variants on identical hardware."""
+    """Stand up one of the protocol variants on identical hardware.
+
+    ``clients_factory`` (a ``(cluster, payload) -> ClientPopulation``
+    callable) attaches an aggregated population instead of exploding
+    ``n_clients`` objects — the Scenario layer passes it for workloads
+    whose declared client count crosses the population threshold.
+    """
     scale = scale or current_scale()
     spec = protocol_registry.get(protocol)
 
@@ -160,6 +172,7 @@ def make_deployment(
     return spec.build(
         f, scale, payload=payload, n_clients=n_clients,
         service_factory=service, seed=seed, link=link, topology=topology,
+        clients_factory=clients_factory,
     )
 
 
@@ -184,7 +197,9 @@ def _execute_run(
     observers = _correct_observers(deployment, faulty_nodes)
     generator = LoadGenerator(
         sim,
-        deployment.clients,
+        deployment.population
+        if deployment.population is not None
+        else deployment.clients,
         profile,
         deployment.rng.stream("load"),
         send_kwargs=send_kwargs or {},
@@ -282,7 +297,7 @@ def probe_capacity(
         )
         result = _execute_run(
             deployment,
-            static_profile(rate, scale.probe_duration),
+            build_profile("static", rate, scale.probe_duration),
             duration=scale.probe_duration,
             warmup=scale.probe_duration * 0.4,
         )
@@ -345,7 +360,8 @@ def run_static(
 
     _deprecated_shim("run_static")
     return run(Scenario(
-        protocol=protocol, payload=payload, load="static", rate=rate,
+        protocol=protocol, payload=payload,
+        workload=Workload("static", rate=rate, population=False),
         attack=attack, f=f, seed=seed, exec_cost=exec_cost, scale=scale,
     ))
 
@@ -368,9 +384,9 @@ def run_dynamic(
 
     _deprecated_shim("run_dynamic")
     return run(Scenario(
-        protocol=protocol, payload=payload, load="dynamic",
-        rate=per_client_rate, attack=attack, f=f, seed=seed,
-        exec_cost=exec_cost, scale=scale,
+        protocol=protocol, payload=payload,
+        workload=Workload("spike", rate=per_client_rate, population=False),
+        attack=attack, f=f, seed=seed, exec_cost=exec_cost, scale=scale,
     ))
 
 
@@ -389,8 +405,8 @@ def relative_throughput(
 
     base = Scenario(
         protocol=protocol, payload=payload,
-        load="dynamic" if dynamic else "static", scale=scale, f=f,
-        seed=seed, exec_cost=exec_cost,
+        workload=Workload("spike" if dynamic else "static"), scale=scale,
+        f=f, seed=seed, exec_cost=exec_cost,
     )
     fault_free = run(base)
     attacked = run(base.with_(attack=attack))
@@ -532,7 +548,7 @@ def monitoring_view(
     generator = LoadGenerator(
         deployment.sim,
         deployment.clients,
-        static_profile(1.25 * capacity, scale.duration),
+        build_profile("static", 1.25 * capacity, scale.duration),
         deployment.rng.stream("load"),
         send_kwargs=getattr(handle, "client_send_kwargs", {}) or {},
     )

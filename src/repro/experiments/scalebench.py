@@ -84,17 +84,20 @@ def _scale_point(
     protocol: str, f: int, rate: float, duration: float, topology=None
 ) -> dict:
     """One fixed-rate run; returns the per-point artifact entry."""
+    from repro.clients import Workload
+
     from .scenario import Scenario, run
 
     scenario = Scenario(
         protocol=protocol,
         f=f,
-        rate=rate,
+        workload=Workload(
+            "static", rate=rate, clients=N_CLIENTS, population=False
+        ),
         seed=BENCH_SEED,
         scale=SMOKE,
         duration=duration,
         warmup=WARMUP,
-        n_clients=N_CLIENTS,
         topology=topology,
     )
     start = time.perf_counter()

@@ -1,13 +1,22 @@
 """The stable experiment entry point: :class:`Scenario` + :func:`run`.
 
 One frozen dataclass captures everything that determines a simulated
-run — protocol variant, scale, attack, load profile, seed, link
-profile — and one function executes it:
+run — protocol variant, scale, attack, workload, seed, link profile —
+and one function executes it:
 
     >>> from repro.experiments import Scenario, run
     >>> result = run(Scenario(protocol="rbft", attack="rbft-worst1"))
     >>> result.executed_rate  # doctest: +SKIP
     31519.3
+
+What load to offer is a first-class value: ``workload`` takes a
+:class:`~repro.clients.registry.Workload` (or a bare pack name such as
+``"diurnal"``) resolved through the workload registry.  Packs that
+declare large populations (the day-in-the-life workloads default to
+10^6 clients) aggregate into a single
+:class:`~repro.clients.population.ClientPopulation` event source;
+small counts explode into real per-client objects exactly as before,
+so every pre-existing seeded run is byte-identical.
 
 A :class:`Scenario` is hashable and picklable, so it doubles as a cache
 key and travels across the process-parallel fan-out unchanged.  Runs
@@ -16,16 +25,19 @@ produce byte-identical :class:`~repro.experiments.runner.RunResult`\\ s
 (and identical ``repro.verify`` invariant digests).
 
 This is the **only** run path the experiment modules use internally;
-the legacy ``run_static`` / ``run_dynamic`` functions are deprecated
-shims that build a :class:`Scenario` and delegate here.
+the legacy ``load``/``rate``/``n_clients`` scenario fields (and the
+``run_static``/``run_dynamic`` functions) are deprecated shims that
+fold into a :class:`Workload` and delegate here.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Union
 
-from repro.clients import dynamic_profile, static_profile
+from repro.clients import POPULATION_THRESHOLD, Workload
+from repro.clients import registry as workload_registry
 from repro.net.network import LinkProfile
 from repro.net.topology import Topology
 
@@ -33,7 +45,7 @@ from .scale import ScenarioScale, current_scale
 
 __all__ = ["Scenario", "run"]
 
-#: load-profile shapes a scenario can request.
+#: legacy load-profile shapes the deprecated ``load`` field accepts.
 _LOADS = ("static", "dynamic")
 
 #: execution modes a scenario can request.
@@ -44,17 +56,28 @@ _MODES = ("exact", "meso")
 class Scenario:
     """One fully specified simulated run.
 
-    ``rate=None`` means "derive from a capacity probe" exactly like the
-    paper's experiments: static loads offer 1.25 × the probed capacity,
-    dynamic loads give each client capacity/12 (≈ 83 % of capacity from
-    the ten steady clients).  For ``load="static"`` an explicit ``rate``
-    is the total offered requests/second; for ``load="dynamic"`` it is
-    the per-client rate of the spike profile (§VI-A).
+    ``workload`` names the traffic model: a registered pack name
+    (``"static"``, ``"spike"``, ``"diurnal"``, ``"flash-crowd"``,
+    ``"churn"``, ``"heavy-mix"``) or a full
+    :class:`~repro.clients.registry.Workload` value carrying the
+    offered rate and declared client count.  ``Workload(rate=None)``
+    derives the rate from a capacity probe exactly like the paper's
+    experiments: static loads offer 1.25 × the probed capacity, spike
+    loads give each client capacity/12 (≈ 83 % of capacity from the ten
+    steady clients).  Probes always measure the **flat LAN**, so
+    topology scenarios must carry an explicit rate (enforced with a
+    ``ValueError``).
+
+    The ``load``/``rate``/``n_clients`` fields are deprecated: they
+    fold into an equivalent :class:`Workload` with a
+    ``DeprecationWarning``.
     """
 
     protocol: str
     payload: int = 8
-    load: str = "static"
+    #: deprecated — use ``workload=Workload(shape)`` instead.
+    load: Optional[str] = None
+    #: deprecated — use ``workload=Workload(rate=...)`` instead.
     rate: Optional[float] = None
     attack: Optional[str] = None
     f: int = 1
@@ -63,15 +86,13 @@ class Scenario:
     scale: Optional[ScenarioScale] = None
     link: Optional[LinkProfile] = None
     #: geo-distributed layout (see :mod:`repro.net.topology`); ``None``
-    #: keeps the flat Gigabit LAN of the paper's testbed.  Capacity
-    #: probes (``rate=None``) always measure the flat LAN — WAN
-    #: scenarios should pass an explicit ``rate``.
+    #: keeps the flat Gigabit LAN of the paper's testbed.
     topology: Optional[Topology] = None
-    #: client population; None picks the load shape's default (12 for
-    #: static, the spike population for dynamic).
+    #: deprecated — use ``workload=Workload(clients=...)`` instead.
     n_clients: Optional[int] = None
     #: measurement-window overrides; None uses the scale's values
-    #: (dynamic loads always measure the whole run, as in §VI-A).
+    #: (whole-run workloads — spike, diurnal, flash-crowd — always
+    #: measure the whole run, as in §VI-A).
     duration: Optional[float] = None
     warmup: Optional[float] = None
     #: attach a ``pbft.log-size`` gauge watch and report the peak
@@ -87,16 +108,57 @@ class Scenario:
     #: non-fast-forwardable protocol — silently runs exact and records
     #: the reason in ``RunResult.meso_fallback``.
     mode: str = "exact"
+    #: the traffic model (a pack name or a Workload value); ``None``
+    #: means the default static workload.
+    workload: Optional[Union[str, Workload]] = None
 
     def __post_init__(self):
-        if self.load not in _LOADS:
-            raise ValueError(
-                "unknown load %r (expected one of %s)" % (self.load, _LOADS)
-            )
         if self.mode not in _MODES:
             raise ValueError(
                 "unknown mode %r (expected one of %s)" % (self.mode, _MODES)
             )
+        workload = self.workload
+        if (
+            self.load is not None
+            or self.rate is not None
+            or self.n_clients is not None
+        ):
+            if workload is not None:
+                raise ValueError(
+                    "pass either workload=... or the deprecated "
+                    "load/rate/n_clients fields, not both"
+                )
+            load = "static" if self.load is None else self.load
+            if load not in _LOADS:
+                raise ValueError(
+                    "unknown load %r (expected one of %s)" % (load, _LOADS)
+                )
+            warnings.warn(
+                "Scenario's load/rate/n_clients fields are deprecated; "
+                "pass workload=Workload(%r, rate=..., clients=...) instead"
+                % ("spike" if load == "dynamic" else "static",),
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            workload = Workload(
+                shape="spike" if load == "dynamic" else "static",
+                rate=self.rate,
+                clients=self.n_clients,
+                # The legacy fields always exploded real client objects,
+                # whatever the count — keep that behaviour bit-for-bit.
+                population=False,
+            )
+            # Fold the shim fields away so equality, hashing and
+            # re-normalisation (pickle, ``with_``) see one canonical
+            # form and never re-warn.
+            object.__setattr__(self, "load", None)
+            object.__setattr__(self, "rate", None)
+            object.__setattr__(self, "n_clients", None)
+        elif workload is None:
+            workload = Workload()
+        elif isinstance(workload, str):
+            workload = Workload(shape=workload)
+        object.__setattr__(self, "workload", workload)
 
     def with_(self, **changes) -> "Scenario":
         """A copy with the given fields replaced."""
@@ -107,22 +169,32 @@ class Scenario:
         return run(self)
 
 
-def _resolved_rate(scenario: Scenario, scale: ScenarioScale) -> float:
+def _resolved_rate(
+    scenario: Scenario, spec, scale: ScenarioScale
+) -> float:
     from .runner import probe_capacity
 
-    if scenario.rate is not None:
-        return scenario.rate
+    workload = scenario.workload
+    if workload.rate is not None:
+        return workload.rate
+    if scenario.topology is not None:
+        # A capacity probe always measures the flat LAN — silently using
+        # it would size a WAN run against the wrong network entirely.
+        raise ValueError(
+            "rate=None cannot be probed for a topology scenario: capacity "
+            "probes measure the flat LAN; pass an explicit Workload rate"
+        )
     capacity = probe_capacity(
         scenario.protocol, scenario.payload, scale, scenario.f,
         scenario.exec_cost, scenario.seed,
     )
-    if scenario.load == "static":
-        return 1.25 * capacity
-    return capacity / 12.0  # 10 clients ≈ 83 % of capacity
+    return spec.probe_rate(capacity)
 
 
 def run(scenario: Scenario):
     """Execute one scenario and return its :class:`RunResult`."""
+    from repro.clients import ClientPopulation
+
     from .runner import (
         ATTACK_INSTALLERS,
         _attack_for,
@@ -131,31 +203,47 @@ def run(scenario: Scenario):
     )
 
     scale = scenario.scale or current_scale()
-    rate = _resolved_rate(scenario, scale)
-    if scenario.load == "static":
-        n_clients = 12 if scenario.n_clients is None else scenario.n_clients
-        duration = scale.duration if scenario.duration is None else scenario.duration
-        warmup = scale.warmup if scenario.warmup is None else scenario.warmup
-        profile = static_profile(rate, duration)
-        offered = rate
-    else:
-        # §VI-A: "similar workloads have been used for the other request
-        # sizes with possibly fewer clients as the peak throughput has
-        # been reached with fewer clients" — large payloads spike less
-        # violently.
-        spike_clients = 50 if scenario.payload <= 512 else 18
-        n_clients = spike_clients if scenario.n_clients is None else scenario.n_clients
-        duration = scale.duration if scenario.duration is None else scenario.duration
+    workload = scenario.workload
+    spec = workload_registry.get(workload.shape)
+    rate = _resolved_rate(scenario, spec, scale)
+    declared = (
+        spec.default_clients(scenario.payload)
+        if workload.clients is None
+        else workload.clients
+    )
+    duration = scale.duration if scenario.duration is None else scenario.duration
+    if spec.whole_run:
         # "When the load is dynamic, we consider the average throughput
-        # observed on the whole experiment" (§VI-A): no warm-up cut.
+        # observed on the whole experiment" (§VI-A): no warm-up cut for
+        # workloads whose shape spans the run.
         warmup = 0.0 if scenario.warmup is None else scenario.warmup
-        profile = dynamic_profile(rate, duration, spike_clients=spike_clients)
-        offered = profile.mean_rate()
+    else:
+        warmup = scale.warmup if scenario.warmup is None else scenario.warmup
+    profile = spec.profile_factory(rate, duration, scenario.payload, declared)
+    offered = profile.mean_rate() if spec.whole_run else rate
+
+    aggregate = (
+        declared >= POPULATION_THRESHOLD
+        if workload.population is None
+        else workload.population
+    )
+    clients_factory = None
+    n_clients = declared
+    if aggregate:
+        sampling = workload.sampling
+
+        def clients_factory(cluster, payload):
+            return ClientPopulation(
+                cluster, declared, payload_size=payload, sampling=sampling
+            )
+
+        n_clients = 0
 
     deployment = make_deployment(
         scenario.protocol, scenario.payload, scale, f=scenario.f,
         seed=scenario.seed, exec_cost=scenario.exec_cost,
         n_clients=n_clients, link=scenario.link, topology=scenario.topology,
+        clients_factory=clients_factory,
     )
     watch = None
     if scenario.track_log_sizes:
@@ -205,6 +293,8 @@ def run(scenario: Scenario):
     result.protocol = scenario.protocol
     result.payload = scenario.payload
     result.offered_rate = offered
+    result.workload = workload.shape
+    result.declared_clients = declared
     if watch is not None:
         from repro.trace.gauge import collect_final
 

@@ -49,6 +49,7 @@ def run_smoke(
     scale: Optional[ScenarioScale] = None,
     seed: int = 0,
     jobs: Optional[int] = None,
+    workload: Optional[str] = None,
 ) -> dict:
     """Execute the smoke subset and return the benchmark record.
 
@@ -56,17 +57,23 @@ def run_smoke(
     capacity, so they fan out across ``jobs`` worker processes (the
     fault-free run doubles as the fig7 point and the fig8 reference —
     the runs are deterministic, so one run *is* the other).
+
+    ``workload`` swaps the traffic shape for another registered pack;
+    the default is the classic static profile, byte-identical to every
+    seeded smoke run.
     """
     scale = scale or SMOKE
     t0 = time.perf_counter()
 
     capacity = probe_capacity("rbft", 8, scale, f=1, seed=seed)
+    kind = "static" if workload is None else "workload"
     fault_free, attacked = execute_specs(
         [
-            RunSpec(kind="static", protocol="rbft", payload=8,
-                    seed=seed, scale=scale),
-            RunSpec(kind="static", protocol="rbft", payload=8,
-                    attack="rbft-worst1", seed=seed, scale=scale),
+            RunSpec(kind=kind, protocol="rbft", payload=8,
+                    seed=seed, scale=scale, workload=workload),
+            RunSpec(kind=kind, protocol="rbft", payload=8,
+                    attack="rbft-worst1", seed=seed, scale=scale,
+                    workload=workload),
         ],
         jobs=jobs,
     )
@@ -83,6 +90,7 @@ def run_smoke(
         "schema": "rbft-bench-smoke/1",
         "scale": scale.name,
         "seed": seed,
+        "workload": workload or "static",
         "wall_clock_s": round(wall, 3),
         "fig7": {
             "payload": 8,
@@ -144,9 +152,10 @@ def write_smoke(
     scale: Optional[ScenarioScale] = None,
     seed: int = 0,
     jobs: Optional[int] = None,
+    workload: Optional[str] = None,
 ) -> int:
     """Run, write the artifact, print a summary; non-zero on violation."""
-    record = run_smoke(scale=scale, seed=seed, jobs=jobs)
+    record = run_smoke(scale=scale, seed=seed, jobs=jobs, workload=workload)
     violations = check_bounds(record)
     record["violations"] = violations
     with open(output, "w", encoding="utf-8") as fileobj:

@@ -31,6 +31,7 @@ import json
 import time
 from typing import Dict, List, Optional
 
+from repro.clients import Workload
 from repro.protocols.pbft.engine import InstanceConfig
 
 from .scale import SMOKE, ScenarioScale
@@ -77,15 +78,25 @@ SOAK_BOUNDS: Dict[str, float] = {
 def run_soak(
     scale: Optional[ScenarioScale] = None,
     seed: int = 0,
+    workload: Optional[str] = None,
 ) -> dict:
-    """Execute the soak scenario and return the benchmark record."""
+    """Execute the soak scenario and return the benchmark record.
+
+    ``workload`` swaps the main soak point's traffic shape for another
+    registered pack (same offered rate); the default is the classic
+    static profile, byte-identical to every seeded soak run.
+    """
     scale = scale or SMOKE
     duration = HORIZON_FACTOR * scale.duration
     t0 = time.perf_counter()
     result = run(Scenario(
         protocol="rbft",
         payload=8,
-        rate=SOAK_RATE,
+        workload=(
+            Workload("static", rate=SOAK_RATE, population=False)
+            if workload is None
+            else Workload(workload, rate=SOAK_RATE)
+        ),
         seed=seed,
         scale=scale,
         duration=duration,
@@ -96,11 +107,13 @@ def run_soak(
     large = run(Scenario(
         protocol=LARGE_N_PROTOCOL,
         payload=8,
-        rate=LARGE_N_RATE,
+        workload=Workload(
+            "static", rate=LARGE_N_RATE, clients=LARGE_N_CLIENTS,
+            population=False,
+        ),
         f=LARGE_N_F,
         seed=seed,
         scale=scale,
-        n_clients=LARGE_N_CLIENTS,
         track_log_sizes=True,
     ))
     large_wall = time.perf_counter() - t1
@@ -108,6 +121,7 @@ def run_soak(
         "schema": "rbft-bench-soak/1",
         "scale": scale.name,
         "seed": seed,
+        "workload": workload or "static",
         "wall_clock_s": round(wall + large_wall, 3),
         "soak": {
             "protocol": "rbft",
@@ -183,9 +197,10 @@ def write_soak(
     output: str = "BENCH_soak.json",
     scale: Optional[ScenarioScale] = None,
     seed: int = 0,
+    workload: Optional[str] = None,
 ) -> int:
     """Run, write the artifact, print a summary; non-zero on violation."""
-    record = run_soak(scale=scale, seed=seed)
+    record = run_soak(scale=scale, seed=seed, workload=workload)
     violations = check_soak(record)
     record["violations"] = violations
     with open(output, "w", encoding="utf-8") as fileobj:

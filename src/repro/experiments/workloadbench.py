@@ -1,0 +1,255 @@
+"""Workload-pack benchmark: ``python -m repro.experiments bench workload``.
+
+Two gates in one artifact (``BENCH_workload.json``):
+
+* **Million-client pack sweep** — every registered workload pack runs at
+  a **declared population of 10^6 clients** on the paper's n = 4 RBFT
+  testbed, at a fixed offered rate (no capacity probes, so event counts
+  are identical on every machine).  The gate asserts the population
+  machinery holds its envelope: each point must keep a sane fraction of
+  its offered rate and the whole sweep must finish inside the wall-clock
+  budget — 10^6 declared users must cost event-count time, not
+  object-count time.
+
+* **Population ≡ exploded equivalence** — for every protocol family at
+  n = 4, the same seeded scenario runs twice at a small declared count:
+  once aggregated behind one :class:`~repro.clients.population
+  .ClientPopulation`, once exploded into real client objects.  Paced
+  identity sampling makes the arrival schedules identical, so the two
+  runs must agree on completions, throughput and latency within tight
+  tolerances (on the flat LAN they are byte-identical; the tolerances
+  absorb nothing today and exist to keep the gate honest if the wiring
+  ever legitimately diverges).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+from repro.clients import Workload, workload_names
+
+from .benchutil import host_fingerprint
+from .scale import SMOKE
+
+__all__ = [
+    "PACK_RATES",
+    "EQUIVALENCE_PROTOCOLS",
+    "WORKLOAD_BOUNDS",
+    "run_workload_bench",
+    "check_workload",
+    "write_workload_bench",
+]
+
+BENCH_SEED = 11
+
+#: the acceptance population: a million declared users per pack.
+DECLARED_CLIENTS = 1_000_000
+
+#: pack -> fixed offered rate (requests/second; the spike pack's rate is
+#: per-client, matching ``run_dynamic``).  Probing would make run length
+#: depend on host speed; fixed rates keep every point deterministic.
+PACK_RATES: Dict[str, float] = {
+    "static": 20_000.0,
+    "spike": 120.0,
+    "diurnal": 24_000.0,
+    "flash-crowd": 4_000.0,
+    "churn": 16_000.0,
+    "heavy-mix": 8_000.0,
+}
+
+#: the equivalence gate covers one variant per protocol family.
+EQUIVALENCE_PROTOCOLS = ("rbft", "aardvark", "spinning", "prime", "pbft")
+EQUIVALENCE_RATE = 1_500.0
+EQUIVALENCE_CLIENTS = 6
+EQUIVALENCE_SEED = 2
+
+WORKLOAD_BOUNDS: Dict[str, float] = {
+    # each pack must execute at least this fraction of its offered rate
+    # (whole-run packs measure against the profile's time average).
+    "min_throughput_fraction": 0.5,
+    # the full sweep — packs plus equivalence runs — must fit the
+    # 10-minute acceptance envelope.
+    "max_wall_clock_s": 600.0,
+    # population vs exploded tolerances (see the module docstring).
+    "max_completed_rel_err": 0.02,
+    "max_throughput_rel_err": 0.02,
+    "max_latency_rel_err": 0.15,
+}
+
+
+def _run_point(
+    protocol: str,
+    workload: Workload,
+    seed: int,
+) -> dict:
+    from .scenario import Scenario, run
+
+    start = time.perf_counter()
+    result = run(Scenario(
+        protocol=protocol,
+        payload=8,
+        workload=workload,
+        seed=seed,
+        scale=SMOKE,
+    ))
+    wall = time.perf_counter() - start
+    return {
+        "offered_rps": round(result.offered_rate, 1),
+        "throughput_rps": round(result.executed_rate, 1),
+        "completed": result.completed,
+        "events": result.events,
+        "mean_latency_ms": round(result.mean_latency * 1e3, 4),
+        "declared_clients": result.declared_clients,
+        "wall_clock_s": round(wall, 4),
+    }
+
+
+def _rel_err(a: float, b: float) -> float:
+    hi = max(abs(a), abs(b))
+    return abs(a - b) / hi if hi > 0 else 0.0
+
+
+def run_workload_bench(seed: int = BENCH_SEED) -> dict:
+    """Run every pack at 10^6 declared clients plus the equivalence gate."""
+    t0 = time.perf_counter()
+
+    packs: Dict[str, dict] = {}
+    for name in workload_names():
+        rate = PACK_RATES.get(name)
+        if rate is None:
+            # A pack registered after this benchmark was written: run it
+            # at the static point's rate rather than silently skipping.
+            rate = PACK_RATES["static"]
+        packs[name] = _run_point(
+            "rbft",
+            Workload(name, rate=rate, clients=DECLARED_CLIENTS),
+            seed,
+        )
+
+    equivalence: Dict[str, dict] = {}
+    for protocol in EQUIVALENCE_PROTOCOLS:
+        population = _run_point(
+            protocol,
+            Workload(
+                "static", rate=EQUIVALENCE_RATE,
+                clients=EQUIVALENCE_CLIENTS, population=True,
+            ),
+            EQUIVALENCE_SEED,
+        )
+        exploded = _run_point(
+            protocol,
+            Workload(
+                "static", rate=EQUIVALENCE_RATE,
+                clients=EQUIVALENCE_CLIENTS, population=False,
+            ),
+            EQUIVALENCE_SEED,
+        )
+        equivalence[protocol] = {
+            "population": population,
+            "exploded": exploded,
+            "completed_rel_err": round(
+                _rel_err(population["completed"], exploded["completed"]), 6
+            ),
+            "throughput_rel_err": round(
+                _rel_err(
+                    population["throughput_rps"], exploded["throughput_rps"]
+                ), 6,
+            ),
+            "latency_rel_err": round(
+                _rel_err(
+                    population["mean_latency_ms"], exploded["mean_latency_ms"]
+                ), 6,
+            ),
+        }
+
+    return {
+        "schema": "rbft-bench-workload/1",
+        "seed": seed,
+        "host": host_fingerprint(),
+        "declared_clients": DECLARED_CLIENTS,
+        "packs": packs,
+        "equivalence": equivalence,
+        "wall_clock_s": round(time.perf_counter() - t0, 3),
+        "bounds": dict(WORKLOAD_BOUNDS),
+    }
+
+
+def check_workload(record: dict) -> List[str]:
+    """Return the list of bound violations (empty = gate passes)."""
+    bounds = record.get("bounds", WORKLOAD_BOUNDS)
+    violations = []
+    for name, point in sorted(record["packs"].items()):
+        floor = bounds["min_throughput_fraction"] * point["offered_rps"]
+        if point["throughput_rps"] < floor:
+            violations.append(
+                "pack %s executed %.0f req/s, below %.0f%% of its offered "
+                "%.0f req/s — the population path is dropping load" % (
+                    name, point["throughput_rps"],
+                    bounds["min_throughput_fraction"] * 100,
+                    point["offered_rps"],
+                )
+            )
+        if point["declared_clients"] != record["declared_clients"]:
+            violations.append(
+                "pack %s ran %d declared clients, expected %d" % (
+                    name, point["declared_clients"],
+                    record["declared_clients"],
+                )
+            )
+    for protocol, entry in sorted(record["equivalence"].items()):
+        for key, bound_key in (
+            ("completed_rel_err", "max_completed_rel_err"),
+            ("throughput_rel_err", "max_throughput_rel_err"),
+            ("latency_rel_err", "max_latency_rel_err"),
+        ):
+            if entry[key] > bounds[bound_key]:
+                violations.append(
+                    "%s population/exploded %s %.4f exceeds %.4f — "
+                    "aggregation changed what the clients observe" % (
+                        protocol, key, entry[key], bounds[bound_key],
+                    )
+                )
+    if record["wall_clock_s"] > bounds["max_wall_clock_s"]:
+        violations.append(
+            "workload sweep took %.1fs, over the %.0fs envelope — 10^6 "
+            "declared clients must not cost object-count time" % (
+                record["wall_clock_s"], bounds["max_wall_clock_s"],
+            )
+        )
+    return violations
+
+
+def write_workload_bench(
+    output: str = "BENCH_workload.json",
+    seed: int = BENCH_SEED,
+    check: bool = False,
+) -> int:
+    """Run, write the artifact, print a summary; non-zero on violation."""
+    record = run_workload_bench(seed=seed)
+    violations = check_workload(record) if check else []
+    record["violations"] = violations
+    with open(output, "w", encoding="utf-8") as fileobj:
+        json.dump(record, fileobj, indent=2, sort_keys=True)
+        fileobj.write("\n")
+    exact = sum(
+        1 for entry in record["equivalence"].values()
+        if entry["completed_rel_err"] == 0.0
+        and entry["throughput_rel_err"] == 0.0
+    )
+    print(
+        "bench workload: %d packs @ %s declared clients | equivalence "
+        "%d/%d exact | wall %.1fs -> %s"
+        % (
+            len(record["packs"]),
+            "{:,}".format(record["declared_clients"]),
+            exact,
+            len(record["equivalence"]),
+            record["wall_clock_s"],
+            output,
+        )
+    )
+    for violation in violations:
+        print("BOUND VIOLATION: %s" % violation)
+    return 1 if violations else 0

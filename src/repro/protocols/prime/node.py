@@ -468,7 +468,7 @@ class PrimeNode:
         result, result_size = self.service.apply(request)
         self.executed_count += 1
         reply = Reply(self.name, request.client, request.rid, result, result_size)
-        channel = self.machine.channels_to_clients.get(request.client)
+        channel = self.machine.channel_to_client(request.client)
         if channel is not None:
             channel.send(ReplyMsg(reply, Mac(self.name)))
 

@@ -62,6 +62,7 @@ class ProtocolSpec:
         seed: int = 0,
         link=None,
         topology=None,
+        clients_factory: Callable = None,
     ):
         """Make the variant's config and stand up its deployment."""
         config = self.config_factory(f, scale)
@@ -72,6 +73,8 @@ class ProtocolSpec:
             kwargs["link"] = link
         if topology is not None:
             kwargs["topology"] = topology
+        if clients_factory is not None:
+            kwargs["clients_factory"] = clients_factory
         return self.builder(
             config, n_clients=n_clients, payload=payload, seed=seed, **kwargs
         )

@@ -15,7 +15,7 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.clients import LoadGenerator, static_profile
+from repro.clients import LoadGenerator, build_profile
 from repro.core import RBFTConfig
 from repro.protocols import registry as protocol_registry
 
@@ -58,6 +58,10 @@ class EpisodeSpec:
     #: "" for the flat LAN.  A pack *name* rather than a Topology value
     #: keeps the spec JSON-serialisable and replay artifacts readable.
     topology: str = ""
+    #: traffic shape: a workload-registry pack name.  The classic
+    #: constant-rate profile is the default; non-static packs let the
+    #: adversary search under diurnal / flash-crowd / churn traffic.
+    workload: str = "static"
 
     def to_dict(self) -> Dict[str, Any]:
         record = asdict(self)
@@ -69,6 +73,8 @@ class EpisodeSpec:
             del record["protocol"]
         if not record["topology"]:  # same rule for pre-WAN artifacts
             del record["topology"]
+        if record["workload"] == "static":  # and pre-workload artifacts
+            del record["workload"]
         return record
 
     @classmethod
@@ -184,7 +190,10 @@ def run_episode(
     generator = LoadGenerator(
         deployment.sim,
         deployment.clients[1:],  # client0 is the designated misbehaver
-        static_profile(spec.rate, spec.duration),
+        build_profile(
+            spec.workload, spec.rate, spec.duration,
+            clients=spec.n_clients - 1,
+        ),
         deployment.rng.stream("load"),
         send_kwargs=handle.client_send_kwargs or None,
     )

@@ -1,0 +1,216 @@
+"""Unit tests for client populations (virtual identity aggregation).
+
+A :class:`ClientPopulation` must be indistinguishable, from the
+protocol side, from a pool of exploded clients: per-identity ids,
+signatures and MACs; reply quorums per request; reply routing back to
+the owner port.  These tests pin that contract at the unit level — the
+scenario-level equivalence lives in ``bench workload``.
+"""
+
+import pytest
+
+from repro.clients import ClientPopulation, LoadGenerator
+from repro.clients.registry import build_profile
+from repro.common import Cluster, ClusterConfig, Reply
+from repro.crypto import Mac, principal_owner
+from repro.protocols.base import ReplyMsg
+from repro.sim import RngTree, Simulator
+
+
+def build(f=1, **pop_kwargs):
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=f))
+    population = ClientPopulation(cluster, size=1000, **pop_kwargs)
+    return sim, cluster, population
+
+
+def reply_from(cluster, node_index, identity, rid, result="ok"):
+    machine = cluster.machines[node_index]
+    machine.send_to_client(
+        identity,
+        ReplyMsg(Reply(machine.name, identity, rid, result), Mac(machine.name)),
+    )
+
+
+def test_requests_carry_virtual_identities_and_unique_rids():
+    sim, cluster, population = build()
+    first = population.send_request(index=3)
+    second = population.send_request(index=3)
+    third = population.send_request(index=999)
+    assert first.client == "pop0#3"
+    assert third.client == "pop0#999"
+    # One global counter: rids never collide across identities.
+    assert (first.rid, second.rid, third.rid) == (1, 2, 3)
+    assert population.sent == 3
+    assert population.identities_seen == {3, 999}
+
+
+def test_identity_index_is_validated():
+    sim, cluster, population = build()
+    with pytest.raises(ValueError, match="outside population"):
+        population.send_request(index=1000)
+    with pytest.raises(ValueError, match="outside population"):
+        population.send_request(index=-1)
+
+
+def test_population_size_and_sampling_are_validated():
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=1))
+    with pytest.raises(ValueError, match="size"):
+        ClientPopulation(cluster, size=0)
+    with pytest.raises(ValueError, match="sampling"):
+        ClientPopulation(cluster, size=10, name="p2", sampling="zipf")
+
+
+def test_uniform_sampling_is_seeded_and_in_range():
+    def indices(seed):
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterConfig(f=1, seed=seed))
+        population = ClientPopulation(cluster, size=50, sampling="uniform")
+        return [population.send_request().client for _ in range(20)]
+
+    first = indices(7)
+    assert first == indices(7)
+    assert first != indices(8)
+    assert all(0 <= int(c.partition("#")[2]) < 50 for c in first)
+
+
+def test_reply_quorum_completes_per_sampled_identity():
+    sim, cluster, population = build()
+    request = population.send_request(index=42)
+    reply_from(cluster, 0, request.client, request.rid)
+    sim.run(until=0.1)
+    assert population.completed == 0  # one reply is not enough (f=1)
+    reply_from(cluster, 1, request.client, request.rid)
+    sim.run(until=0.2)
+    assert population.completed == 1
+    assert len(population.latencies) == 1
+    assert population.outstanding == 0
+
+
+def test_replies_for_foreign_owner_are_ignored():
+    sim, cluster, population = build()
+    request = population.send_request(index=0)
+    # A reply naming another population's identity must not count even
+    # if it lands on this port with a matching rid.
+    foreign = Reply(
+        cluster.machines[0].name, "other#0", request.rid, "ok"
+    )
+    population._on_message(ReplyMsg(foreign, Mac(cluster.machines[0].name)))
+    population._on_message(
+        ReplyMsg(
+            Reply(cluster.machines[1].name, "other#0", request.rid, "ok"),
+            Mac(cluster.machines[1].name),
+        )
+    )
+    assert population.completed == 0
+
+
+def test_invalid_reply_mac_is_ignored():
+    sim, cluster, population = build()
+    request = population.send_request(index=5)
+    machine = cluster.machines[0]
+    population._on_message(
+        ReplyMsg(
+            Reply(machine.name, request.client, request.rid, "ok"),
+            Mac(machine.name, valid=False),
+        )
+    )
+    reply_from(cluster, 1, request.client, request.rid)
+    sim.run(until=0.1)
+    assert population.completed == 0
+
+
+def test_reply_routing_resolves_owner_alias():
+    sim, cluster, population = build()
+    machine = cluster.machines[0]
+    # The memoised alias shares the owner port's downlink channel.
+    assert machine.channel_to_client("pop0#7") is machine.channel_to_client(
+        "pop0"
+    )
+    assert machine.channel_to_client("ghost#7") is None
+
+
+def test_add_client_rejects_hash_in_names():
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=1))
+    with pytest.raises(ValueError, match="'#'"):
+        cluster.add_client("pop0#raw")
+
+
+def test_principal_owner_strips_identity_index():
+    assert principal_owner("pop0#42") == "pop0"
+    assert principal_owner("client3") == "client3"
+
+
+def test_fault_knobs_apply_to_the_sampled_identity():
+    sim, cluster, population = build()
+    request = population.send_request(
+        index=2, signature_valid=False, mac_invalid_for=["node0"],
+        exec_cost=1e-3, payload_size=512,
+    )
+    assert request.signature.signer == "pop0#2"
+    assert not request.signature.valid
+    assert not request.authenticator.valid_for("node0")
+    assert request.authenticator.valid_for("node1")
+    assert request.exec_cost == 1e-3
+    assert request.payload_size == 512
+
+
+def test_targets_restrict_recipients():
+    sim, cluster, population = build()
+    got = {name: [] for name in cluster.node_names()}
+    for machine in cluster.machines:
+        machine.handler = got[machine.name].append
+    population.send_request(index=0, targets=["node1", "node2"])
+    sim.run(until=0.1)
+    assert len(got["node1"]) == 1 and len(got["node2"]) == 1
+    assert len(got["node0"]) == 0 and len(got["node3"]) == 0
+
+
+def test_time_shift_moves_in_flight_timestamps():
+    sim, cluster, population = build()
+    request = population.send_request(index=0)
+    # A mesoscale fast-forward jumps the clock by dt and shifts in-flight
+    # send times with it, so the recorded latency excludes the skipped
+    # window.
+    sim.run(until=0.5)
+    population.time_shift(0.4)
+    reply_from(cluster, 0, request.client, request.rid)
+    reply_from(cluster, 1, request.client, request.rid)
+    sim.run(until=0.6)
+    assert population.completed == 1
+    # Sent at t=0 (shifted to 0.4), completed just after t=0.5: without
+    # the shift the latency would read the full 0.5 s.
+    (latency,) = population.latencies.samples
+    assert latency == pytest.approx(0.1, abs=0.05)
+
+
+def test_load_generator_paces_identities_round_robin():
+    sim, cluster, population = build()
+    generator = LoadGenerator(
+        sim, population,
+        build_profile("static", 300.0, 1.0, clients=3),
+        RngTree(2).stream("load"),
+    )
+    generator.start()
+    sim.run(until=1.0)
+    assert generator.generated > 0
+    assert generator.total_sent() == generator.generated
+    # static packs round-robin over the profile's active window.
+    assert population.identities_seen == set(range(10))
+
+
+def test_load_generator_uniform_population_samples_identities():
+    sim, cluster, population = build(sampling="uniform")
+    generator = LoadGenerator(
+        sim, population,
+        build_profile("static", 500.0, 1.0),
+        RngTree(3).stream("load"),
+    )
+    generator.start()
+    sim.run(until=1.0)
+    assert generator.generated > 0
+    # 1000 identities, ~500 draws: far more distinct ids than the
+    # 10-wide paced window could ever produce.
+    assert len(population.identities_seen) > 100

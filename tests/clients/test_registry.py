@@ -1,0 +1,135 @@
+"""Unit tests for the workload registry and the Workload value object."""
+
+import dataclasses
+
+import pytest
+
+from repro.clients import Workload, build_profile
+from repro.clients.registry import POPULATION_THRESHOLD, get, names
+
+
+def test_names_are_sorted_and_complete():
+    packs = names()
+    assert packs == sorted(packs)
+    assert set(packs) >= {
+        "static", "spike", "diurnal", "flash-crowd", "churn", "heavy-mix",
+    }
+
+
+def test_dynamic_is_an_alias_for_spike():
+    assert get("dynamic") is get("spike")
+    assert Workload("dynamic", rate=300.0).shape == "spike"
+
+
+def test_unknown_pack_rejected_with_candidates():
+    with pytest.raises(ValueError, match="unknown workload"):
+        get("bursty")
+    with pytest.raises(ValueError, match="static"):
+        get("bursty")  # the message lists the registered packs
+
+
+def test_workload_validates_its_knobs():
+    with pytest.raises(ValueError, match="unknown workload"):
+        Workload("bursty")
+    with pytest.raises(ValueError, match="sampling"):
+        Workload("static", sampling="zipf")
+    with pytest.raises(ValueError, match="clients"):
+        Workload("static", clients=0)
+    with pytest.raises(ValueError, match="rate"):
+        Workload("static", rate=-1.0)
+
+
+def test_workload_is_frozen_and_hashable():
+    workload = Workload("static", rate=1000.0)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        workload.rate = 2000.0
+    assert hash(workload) == hash(Workload("static", rate=1000.0))
+
+
+def test_population_threshold_is_above_every_seeded_client_count():
+    # Pre-population seeded runs use at most 50 clients (the §VI-A
+    # spike); the threshold must leave them in the exploded regime.
+    assert POPULATION_THRESHOLD > 50
+
+
+def test_default_clients_per_pack():
+    assert get("static").default_clients(8) == 12
+    assert get("spike").default_clients(8) == 50
+    assert get("spike").default_clients(1024) == 18
+    assert get("diurnal").default_clients(8) == 1_000_000
+    assert get("heavy-mix").default_clients(8) == 10_000
+
+
+def test_probe_rates_scale_the_measured_capacity():
+    capacity = 1200.0
+    assert get("static").probe_rate(capacity) == pytest.approx(1500.0)
+    assert get("spike").probe_rate(capacity) == pytest.approx(100.0)
+    assert get("diurnal").probe_rate(capacity) == pytest.approx(1080.0)
+
+
+def test_whole_run_flags():
+    assert not get("static").whole_run
+    assert get("spike").whole_run
+    assert get("diurnal").whole_run
+    assert get("flash-crowd").whole_run
+    assert not get("churn").whole_run
+    assert not get("heavy-mix").whole_run
+
+
+def test_static_pack_profile_is_flat_with_declared_boundaries():
+    profile = build_profile("static", 1000.0, 2.0)
+    assert profile.rate(0.1) == profile.rate(1.9) == 1000.0
+    assert profile.boundaries == ()
+
+
+def test_spike_pack_head_count_tracks_payload():
+    small = build_profile("spike", 100.0, 10.0, payload=8)
+    large = build_profile("spike", 100.0, 10.0, payload=1024)
+    assert small.active(5.0) == 50
+    assert large.active(5.0) == 18
+
+
+def test_diurnal_profile_quantizes_a_day():
+    profile = build_profile("diurnal", 1000.0, 24.0, clients=100)
+    # 24 hourly levels -> 23 interior boundaries, all declared so the
+    # mesoscale controller can bound its windows.
+    assert len(profile.boundaries) == 23
+    assert profile.active(12.0) == 100
+    # Night floor well below the midday peak.
+    assert profile.rate(0.1) < 0.25 * profile.rate(12.0)
+    assert profile.rate(12.0) <= 1000.0
+    assert profile.mean_rate() < 1000.0
+
+
+def test_flash_crowd_surges_inside_a_declared_window():
+    profile = build_profile("flash-crowd", 100.0, 10.0, clients=1000)
+    lo, hi = profile.boundaries
+    assert profile.rate(lo + 0.01) == pytest.approx(500.0)
+    assert profile.rate(lo - 0.01) == pytest.approx(100.0)
+    assert profile.rate(hi + 0.01) == pytest.approx(100.0)
+    # Only a tenth of the population is active outside the surge.
+    assert profile.active(lo + 0.01) == 1000
+    assert profile.active(0.0) == 100
+
+
+def test_churn_profile_rolls_the_identity_window():
+    profile = build_profile("churn", 100.0, 10.0, clients=1000)
+    assert profile.boundaries == ()
+    assert profile.window_fn is not None
+    assert profile.window_fn(0.0) == 0
+    assert profile.window_fn(5.0) == 500
+    assert profile.active(3.0) == 100  # 10 % of the population at once
+
+
+def test_heavy_mix_profile_carries_the_payload_mix():
+    profile = build_profile("heavy-mix", 100.0, 10.0)
+    assert profile.mix is not None and len(profile.mix) == 8
+    assert profile.mix[5] == (1024, None)
+    payload, cost = profile.mix[7]
+    assert payload == 4096 and cost > 0
+    assert profile.boundaries == ()
+
+
+def test_build_profile_rejects_unknown_pack():
+    with pytest.raises(ValueError, match="unknown workload"):
+        build_profile("bursty", 100.0, 1.0)

@@ -12,21 +12,27 @@ import dataclasses
 
 import pytest
 
-from repro.experiments import SMOKE, MesoConfig, Scenario, run
+from repro.experiments import SMOKE, MesoConfig, Scenario, Workload, run
 
 #: steady-state-heavy workload, small enough for the unit-test budget.
 MESO_KW = dict(
-    protocol="rbft", rate=1500.0, duration=1.0, warmup=0.2, scale=SMOKE, seed=5
+    protocol="rbft", workload=Workload("static", rate=1500.0),
+    duration=1.0, warmup=0.2, scale=SMOKE, seed=5,
 )
 
 
 def test_scenario_rejects_unknown_mode():
     with pytest.raises(ValueError):
-        Scenario(protocol="rbft", rate=1000.0, mode="approximate")
+        Scenario(
+            protocol="rbft", workload=Workload("static", rate=1000.0),
+            mode="approximate",
+        )
 
 
 def test_exact_mode_is_the_default():
-    scenario = Scenario(protocol="rbft", rate=1000.0)
+    scenario = Scenario(
+        protocol="rbft", workload=Workload("static", rate=1000.0)
+    )
     assert scenario.mode == "exact"
 
 
@@ -84,8 +90,9 @@ def test_attack_falls_back_to_exact():
 
 def test_non_fast_forwardable_protocol_falls_back():
     result = run(Scenario(
-        mode="meso", protocol="spinning", rate=1500.0, duration=1.0,
-        warmup=0.2, scale=SMOKE, seed=5,
+        mode="meso", protocol="spinning",
+        workload=Workload("static", rate=1500.0),
+        duration=1.0, warmup=0.2, scale=SMOKE, seed=5,
     ))
     assert result.mode == "exact"
     assert "SpinningNode" in result.meso_fallback
@@ -98,7 +105,8 @@ def test_dynamic_load_still_eligible_but_respects_boundaries():
     the run must degrade gracefully to (near-)exact — never jump across
     a load step."""
     kw = dict(
-        protocol="rbft", load="dynamic", rate=400.0, scale=SMOKE, seed=2
+        protocol="rbft", workload=Workload("spike", rate=400.0),
+        scale=SMOKE, seed=2,
     )
     exact = run(Scenario(**kw))
     meso = run(Scenario(mode="meso", **kw))

@@ -5,6 +5,7 @@ import pytest
 from repro.experiments import (
     Scenario,
     ScenarioScale,
+    Workload,
     current_scale,
     make_deployment,
     run,
@@ -82,7 +83,9 @@ def test_probe_capacity_key_includes_seed():
 
 
 def test_static_scenario_returns_populated_result():
-    result = run(Scenario(protocol="pbft", rate=2000.0, scale=FAST))
+    result = run(Scenario(
+        protocol="pbft", workload=Workload("static", rate=2000.0), scale=FAST,
+    ))
     assert result.protocol == "pbft"
     assert result.payload == 8
     assert result.offered_rate == 2000.0
@@ -95,7 +98,7 @@ def test_dynamic_scenario_reports_true_offered_rate():
     from repro.clients import dynamic_profile
 
     result = run(Scenario(
-        protocol="pbft", load="dynamic", rate=500.0, scale=FAST,
+        protocol="pbft", workload=Workload("spike", rate=500.0), scale=FAST,
     ))
     profile = dynamic_profile(500.0, FAST.duration, spike_clients=50)
     # The spike profile averages ~15.3 active clients, not 10: the

@@ -1,17 +1,26 @@
 """Scenario/run(): equivalence with the legacy entry points.
 
 The redesign's contract: ``run(Scenario(...))`` is the only internal
-run path, and the deprecated ``run_static``/``run_dynamic`` shims are
-thin wrappers over it — so for every protocol the two must produce
-*identical* results (RunResult is a plain dataclass; equality is
-field-by-field, covering rates, latencies and event counts).
+run path, ``Workload`` is the one way to describe traffic, and the
+deprecated ``run_static``/``run_dynamic`` shims and ``load``/``rate``/
+``n_clients`` fields are thin folds over it — so for every protocol the
+old and new spellings must produce *identical* results (RunResult is a
+plain dataclass; equality is field-by-field, covering rates, latencies
+and event counts).
 """
 
 import warnings
 
 import pytest
 
-from repro.experiments import SMOKE, Scenario, run, run_dynamic, run_static
+from repro.experiments import (
+    SMOKE,
+    Scenario,
+    Workload,
+    run,
+    run_dynamic,
+    run_static,
+)
 
 #: one representative per protocol family (variants share the builders).
 PROTOCOLS = ["rbft", "aardvark", "spinning", "prime", "pbft"]
@@ -19,7 +28,11 @@ PROTOCOLS = ["rbft", "aardvark", "spinning", "prime", "pbft"]
 
 @pytest.mark.parametrize("protocol", PROTOCOLS)
 def test_scenario_matches_run_static(protocol):
-    scenario = Scenario(protocol=protocol, rate=2000.0, scale=SMOKE, seed=3)
+    scenario = Scenario(
+        protocol=protocol,
+        workload=Workload("static", rate=2000.0, population=False),
+        scale=SMOKE, seed=3,
+    )
     via_scenario = run(scenario)
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", DeprecationWarning)
@@ -29,7 +42,9 @@ def test_scenario_matches_run_static(protocol):
 
 def test_scenario_matches_run_dynamic():
     scenario = Scenario(
-        protocol="rbft", load="dynamic", rate=300.0, scale=SMOKE, seed=1
+        protocol="rbft",
+        workload=Workload("spike", rate=300.0, population=False),
+        scale=SMOKE, seed=1,
     )
     via_scenario = run(scenario)
     with warnings.catch_warnings():
@@ -41,18 +56,23 @@ def test_scenario_matches_run_dynamic():
 
 
 def test_runs_are_deterministic():
-    scenario = Scenario(protocol="rbft", rate=2000.0, scale=SMOKE)
+    scenario = Scenario(
+        protocol="rbft", workload=Workload("static", rate=2000.0), scale=SMOKE
+    )
     assert run(scenario) == run(scenario)
 
 
 def test_scenario_run_method_delegates():
-    scenario = Scenario(protocol="pbft", rate=2000.0, scale=SMOKE)
+    scenario = Scenario(
+        protocol="pbft", workload=Workload("static", rate=2000.0), scale=SMOKE
+    )
     assert scenario.run() == run(scenario)
 
 
 def test_attack_scenarios_run():
     scenario = Scenario(
-        protocol="rbft", rate=2000.0, attack="rbft-worst1", scale=SMOKE
+        protocol="rbft", workload=Workload("static", rate=2000.0),
+        attack="rbft-worst1", scale=SMOKE,
     )
     result = run(scenario)
     assert result.executed_rate > 0
@@ -65,13 +85,61 @@ def test_legacy_entry_points_warn():
         run_dynamic("pbft", 8, per_client_rate=300.0, scale=SMOKE)
 
 
+def test_legacy_fields_warn_and_fold_to_workload():
+    with pytest.warns(DeprecationWarning, match="load/rate/n_clients"):
+        legacy = Scenario(protocol="rbft", rate=2000.0, n_clients=4)
+    # The fold is canonical: the legacy fields are cleared, the workload
+    # carries their meaning, and the result equals the modern spelling.
+    assert legacy.rate is None and legacy.load is None
+    assert legacy.n_clients is None
+    assert legacy == Scenario(
+        protocol="rbft",
+        workload=Workload("static", rate=2000.0, clients=4, population=False),
+    )
+
+
+def test_legacy_dynamic_folds_to_spike():
+    with pytest.warns(DeprecationWarning):
+        legacy = Scenario(protocol="rbft", load="dynamic", rate=300.0)
+    assert legacy.workload.shape == "spike"
+
+
+def test_legacy_and_workload_together_is_an_error():
+    with pytest.raises(ValueError, match="not both"):
+        Scenario(protocol="rbft", rate=2000.0, workload="static")
+
+
 def test_scenario_rejects_unknown_load():
     with pytest.raises(ValueError, match="unknown load"):
         Scenario(protocol="rbft", load="bursty")
 
 
+def test_scenario_rejects_unknown_workload():
+    with pytest.raises(ValueError, match="unknown workload"):
+        Scenario(protocol="rbft", workload="bursty")
+
+
+def test_workload_accepts_pack_name_string():
+    scenario = Scenario(protocol="rbft", workload="diurnal")
+    assert isinstance(scenario.workload, Workload)
+    assert scenario.workload.shape == "diurnal"
+
+
+def test_unrated_topology_scenario_is_rejected():
+    """rate=None means "probe the flat LAN" — silently doing that under
+    a WAN topology would measure the wrong deployment."""
+    from repro.net.topology import named
+
+    scenario = Scenario(
+        protocol="rbft", workload="static", topology=named("wan3"),
+        scale=SMOKE,
+    )
+    with pytest.raises(ValueError, match="topology"):
+        run(scenario)
+
+
 def test_with_replaces_fields():
-    base = Scenario(protocol="rbft", rate=2000.0)
+    base = Scenario(protocol="rbft", workload=Workload("static", rate=2000.0))
     attacked = base.with_(attack="rbft-worst1", seed=9)
     assert attacked.protocol == "rbft"
     assert attacked.attack == "rbft-worst1"

@@ -30,8 +30,11 @@ def test_sweep_over_real_runs_is_reproducible():
     )
 
     def measure(seed):
+        from repro.experiments import Workload
+
         return run(Scenario(
-            protocol="pbft", rate=2000.0, scale=scale, seed=seed,
+            protocol="pbft", workload=Workload("static", rate=2000.0),
+            scale=scale, seed=seed,
         )).executed_rate
 
     first = seed_sweep(measure, seeds=(0, 1))

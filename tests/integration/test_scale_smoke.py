@@ -23,7 +23,7 @@ stops at n = 64 (the ``bench scale`` curve documents the same cut).
 
 import pytest
 
-from repro.experiments import SMOKE, Scenario, run
+from repro.experiments import SMOKE, Scenario, Workload, run
 from repro.protocols.pbft.engine import InstanceConfig
 
 PROTOCOLS = ("rbft", "aardvark", "spinning", "prime", "pbft")
@@ -57,12 +57,11 @@ def test_fault_free_at_scale(protocol, f, rate, duration, warmup):
     result = run(Scenario(
         protocol=protocol,
         f=f,
-        rate=rate,
+        workload=Workload("static", rate=rate, clients=4, population=False),
         seed=5,
         scale=SMOKE,
         duration=duration,
         warmup=warmup,
-        n_clients=4,
         track_log_sizes=True,
     ))
     offered = rate * duration

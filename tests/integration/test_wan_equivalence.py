@@ -12,7 +12,7 @@ it per protocol.
 
 import pytest
 
-from repro.experiments import SMOKE, Scenario, run
+from repro.experiments import SMOKE, Scenario, Workload, run
 from repro.net.topology import flat, wan3
 from repro.protocols import registry
 
@@ -20,12 +20,13 @@ from repro.protocols import registry
 def _scenario(protocol, **overrides):
     base = dict(
         protocol=protocol,
-        rate=1500.0,
+        workload=Workload(
+            "static", rate=1500.0, clients=4, population=False
+        ),
         seed=11,
         scale=SMOKE,
         duration=0.2,
         warmup=0.05,
-        n_clients=4,
     )
     base.update(overrides)
     return Scenario(**base)

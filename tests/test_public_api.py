@@ -15,6 +15,7 @@ import repro.experiments as experiments
 TOP_LEVEL_API = [
     "__version__",
     "Scenario",
+    "Workload",
     "run",
     "RunResult",
     "Simulator",
@@ -24,6 +25,7 @@ TOP_LEVEL_API = [
 #: the stable experiment surface, exactly.
 EXPERIMENTS_API = [
     "Scenario",
+    "Workload",
     "run",
     "Deployment",
     "build_aardvark",
@@ -63,6 +65,9 @@ EXPERIMENTS_API = [
     "write_protocol_bench",
     "run_scale_bench",
     "write_scale_bench",
+    "run_workload_bench",
+    "check_workload",
+    "write_workload_bench",
     "MesoConfig",
     "run_meso_bench",
     "write_meso_bench",
@@ -116,6 +121,9 @@ def test_scenario_identity_across_import_paths():
 
 
 def test_scenario_is_hashable_and_picklable():
-    scenario = repro.Scenario(protocol="rbft", rate=1000.0)
-    assert hash(scenario) == hash(repro.Scenario(protocol="rbft", rate=1000.0))
+    workload = repro.Workload("static", rate=1000.0)
+    scenario = repro.Scenario(protocol="rbft", workload=workload)
+    assert hash(scenario) == hash(
+        repro.Scenario(protocol="rbft", workload=workload)
+    )
     assert pickle.loads(pickle.dumps(scenario)) == scenario

@@ -1,23 +1,37 @@
 #!/usr/bin/env python
-"""Forbid direct ``build_*`` deployment imports inside the library.
+"""Forbid direct ``build_*`` / profile-constructor imports in the library.
 
-The protocol registry (``repro.protocols.registry``) is the one place
-that maps variant names to deployment builders; ``Scenario``/``run``
-and ``make_deployment`` resolve through it.  Library code importing
-``build_rbft`` and friends directly bypasses that indirection, and the
-variant it hard-codes silently falls out of sync with the registry.
+Two registries own their respective factories, and library code must
+resolve through them rather than hard-coding a concrete factory:
 
-Allowed:
+* The protocol registry (``repro.protocols.registry``) is the one place
+  that maps variant names to deployment builders; ``Scenario``/``run``
+  and ``make_deployment`` resolve through it.  Library code importing
+  ``build_rbft`` and friends directly bypasses that indirection, and the
+  variant it hard-codes silently falls out of sync with the registry.
+* The workload registry (``repro.clients.registry``) is the one place
+  that maps pack names to rate-profile constructors;
+  ``Scenario(workload=...)`` and ``build_profile`` resolve through it.
+  Importing ``static_profile`` and friends directly pins a traffic shape
+  the registry no longer controls.
+
+Allowed for builders:
 
 * ``repro/experiments/deployments.py`` — defines the builders;
 * ``repro/protocols/registry.py`` — maps names to them;
 * ``repro/experiments/__init__.py`` — re-exports them for downstream
   users (the builders stay public; only *internal* use is restricted).
 
-Everything else under ``src/repro`` must go through the registry.
+Allowed for profile constructors:
+
+* ``repro/clients/workloads.py`` — defines them;
+* ``repro/clients/registry.py`` — maps pack names to them;
+* ``repro/clients/__init__.py`` — re-exports them.
+
+Everything else under ``src/repro`` must go through the registries.
 Exits non-zero listing offending ``file:line`` locations, so CI can run
 it as a lint step.  Tests, benchmarks and examples are exempt: they may
-pin a concrete builder on purpose.
+pin a concrete factory on purpose.
 """
 
 from __future__ import annotations
@@ -38,9 +52,41 @@ ALLOWED = frozenset(
     ]
 )
 
+PROFILES = frozenset(
+    [
+        "static_profile",
+        "dynamic_profile",
+        "diurnal_profile",
+        "flash_crowd_profile",
+        "churn_profile",
+        "heavy_mix_profile",
+    ]
+)
+
+PROFILES_ALLOWED = frozenset(
+    [
+        os.path.join("repro", "clients", "workloads.py"),
+        os.path.join("repro", "clients", "registry.py"),
+        os.path.join("repro", "clients", "__init__.py"),
+    ]
+)
+
+
+def _names_for(rel: str):
+    """The forbidden-name set that applies to one file."""
+    names = set()
+    if rel not in ALLOWED:
+        names |= BUILDERS
+    if rel not in PROFILES_ALLOWED:
+        names |= PROFILES
+    return names
+
 
 def violations_in(path: str, rel: str):
-    """Yield (line, name) for each direct builder import in one file."""
+    """Yield (line, name) for each direct factory import in one file."""
+    names = _names_for(rel)
+    if not names:
+        return
     with open(path, "r", encoding="utf-8") as fileobj:
         try:
             tree = ast.parse(fileobj.read(), filename=rel)
@@ -50,9 +96,9 @@ def violations_in(path: str, rel: str):
     for node in ast.walk(tree):
         if isinstance(node, ast.ImportFrom):
             for alias in node.names:
-                if alias.name in BUILDERS:
+                if alias.name in names:
                     yield (node.lineno, alias.name)
-        elif isinstance(node, ast.Attribute) and node.attr in BUILDERS:
+        elif isinstance(node, ast.Attribute) and node.attr in names:
             yield (node.lineno, node.attr)
 
 
@@ -65,13 +111,13 @@ def main(argv) -> int:
                 continue
             path = os.path.join(dirpath, filename)
             rel = os.path.relpath(path, root)
-            if rel in ALLOWED:
-                continue
             for line, name in violations_in(path, rel):
                 found.append("%s:%d: direct use of %s" % (rel, line, name))
     if found:
         print("lint_builders: library code must resolve deployments via")
-        print("repro.protocols.registry (or make_deployment), not build_*:")
+        print("repro.protocols.registry (or make_deployment) and rate")
+        print("profiles via repro.clients.registry (build_profile), not")
+        print("concrete factories:")
         for entry in found:
             print("  " + entry)
         return 1
