@@ -14,7 +14,7 @@ from typing import Callable, Generic, List, Optional, TypeVar
 
 from repro.sim.engine import Handle, Simulator
 
-__all__ = ["Batcher"]
+__all__ = ["Batcher", "CertificateCoalescer", "group_by_instance"]
 
 T = TypeVar("T")
 
@@ -100,3 +100,31 @@ class Batcher(Generic[T]):
     @property
     def pending(self) -> int:
         return len(self._pending)
+
+
+class CertificateCoalescer(Batcher):
+    """A :class:`Batcher` over outbound certificate messages.
+
+    One instance per node coalesces the backup ordering instances'
+    broadcast traffic (see ``core.node.BatchingInstanceTransport``):
+    every buffered item is an already-built protocol message, and the
+    flush callback wraps a multi-message window into one
+    ``InstanceBatchMsg`` envelope.  The machinery is exactly the request
+    batcher's — size- or delay-triggered flushes on the simulator clock —
+    the subclass exists so node state dumps and tests can tell the two
+    apart and so the flush timer never competes with a paused request
+    batcher during view changes (certificate flushes never pause).
+    """
+
+
+def group_by_instance(messages):
+    """Split an envelope's payload into per-instance runs, in order.
+
+    Returns ``[(instance, [msg, ...]), ...]`` preserving the original
+    arrival order within each instance — the receiver feeds each run to
+    that instance's engine as one aggregated task.
+    """
+    runs = {}
+    for msg in messages:
+        runs.setdefault(msg.instance, []).append(msg)
+    return sorted(runs.items())

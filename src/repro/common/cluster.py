@@ -164,16 +164,16 @@ class Machine:
         """Resolve the downlink for ``client``, aliasing population ids.
 
         Population identities ("pop0#42") share their owner port's
-        channel; the resolution is memoised into the dict so the hot
-        reply path stays a single lookup.  ``rewire`` clears the dict,
-        so stale aliases cannot survive a topology change.
+        channel.  The owner is resolved directly — *not* memoised per
+        identity: a diurnal population samples up to a million distinct
+        identities, and caching one dict entry per reply recipient once
+        grew ``channels_to_clients`` without bound (the dict must stay
+        O(#ports); the regression test pins this).  ``rewire`` replaces
+        the channels, so no alias can outlive a topology change either.
         """
         channel = self.channels_to_clients.get(client)
         if channel is None and "#" in client:
-            owner = client.partition("#")[0]
-            channel = self.channels_to_clients.get(owner)
-            if channel is not None:
-                self.channels_to_clients[client] = channel
+            channel = self.channels_to_clients.get(client.partition("#")[0])
         return channel
 
     def send_to_client(self, client: str, msg: Message) -> None:

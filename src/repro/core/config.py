@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.crypto.costmodel import CryptoCostModel
 from repro.protocols.pbft.engine import InstanceConfig
@@ -60,6 +61,30 @@ class RBFTConfig:
     flood_window: float = 0.1  # seconds over which invalid messages count
     nic_close_duration: float = 2.0  # "for a given time period"
 
+    # Scale pacing and redundant-instance batching ---------------------------
+    #: above this f the deployment switches to the paced batch delay and
+    #: (unless overridden) coalesces backup-instance certificate traffic.
+    #: The default matches the historical hard-coded ``f <= 3`` rule, so
+    #: every pinned small-f run stays on the exact path.
+    pacing_f_threshold: int = 3
+    #: batch delay used above the pacing threshold (was hard-coded 10 ms).
+    paced_batch_delay: float = 10e-3
+    #: tri-state override for certificate batching across the f+1
+    #: ordering instances: None = automatic (active iff
+    #: ``f > pacing_f_threshold``), True/False forces it for tests.
+    instance_batching: Optional[bool] = None
+    #: how long a node may hold backup-instance certificate messages
+    #: before flushing them as one envelope.
+    instance_batch_window: float = 1e-3
+    #: flush an envelope early once it holds this many messages.
+    instance_batch_limit: int = 256
+    #: round pacing for the backup instances on the batched tier: coarser
+    #: rounds aggregate the redundant certificate exchanges into fewer,
+    #: fuller batches (the master keeps ``batch_delay``, so client
+    #: latency is untouched; backups trail by a few windows but their
+    #: throughput — the Δ test input — is unchanged in steady state).
+    backup_batch_delay: float = 50e-3
+
     def __post_init__(self) -> None:
         if self.f < 1:
             raise ValueError("RBFT needs f >= 1 (got f=%d)" % self.f)
@@ -71,6 +96,22 @@ class RBFTConfig:
             raise ValueError("monitoring_period must be positive")
         if self.batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        if self.pacing_f_threshold < 1:
+            raise ValueError("pacing_f_threshold must be at least 1")
+        if self.paced_batch_delay <= 0:
+            raise ValueError("paced_batch_delay must be positive")
+        if self.instance_batch_window <= 0:
+            raise ValueError("instance_batch_window must be positive")
+        if self.instance_batch_limit < 2:
+            raise ValueError("instance_batch_limit must be at least 2")
+        if self.backup_batch_delay <= 0:
+            raise ValueError("backup_batch_delay must be positive")
+        if self.batching_active and self.promote_best_backup:
+            raise ValueError(
+                "instance batching summarises backup progress and does not "
+                "replay per-instance history, so it cannot be combined with "
+                "promote_best_backup"
+            )
         # 4 module cores + f+1 replica cores must fit on the machine (§V).
         if 4 + self.f + 1 > self.cores_per_machine:
             raise ValueError(
@@ -95,6 +136,27 @@ class RBFTConfig:
         """The master instance's id (backups are 1..f)."""
         return 0
 
+    @property
+    def batching_active(self) -> bool:
+        """Whether backup-instance certificate traffic is coalesced."""
+        if self.instance_batching is not None:
+            return self.instance_batching
+        return self.f > self.pacing_f_threshold
+
+    @property
+    def pacing_tier(self) -> str:
+        """Which pacing/batching regime this configuration runs under.
+
+        ``"exact"`` — small-f path, byte-identical to the historical
+        simulator; ``"paced"`` — the slower batch delay but per-instance
+        messages; ``"batched"`` — certificate envelopes across instances.
+        """
+        if self.batching_active:
+            return "batched"
+        if self.f > self.pacing_f_threshold:
+            return "paced"
+        return "exact"
+
     def instance_config(self) -> InstanceConfig:
         return InstanceConfig(
             f=self.f,
@@ -106,3 +168,14 @@ class RBFTConfig:
             full_payload=self.order_full_requests,  # identifiers by default
             auto_advance_view=False,
         )
+
+    def backup_instance_config(self) -> InstanceConfig:
+        """The backup instances' engine config.
+
+        Identical to the master's except on the batched tier, where
+        backup rounds pace at :attr:`backup_batch_delay`.
+        """
+        config = self.instance_config()
+        if self.batching_active:
+            config = replace(config, batch_delay=self.backup_batch_delay)
+        return config

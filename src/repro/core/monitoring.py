@@ -56,10 +56,24 @@ class InstanceMonitor:
         self._breach_at: Optional[float] = None
         self._delta_breaches = 0  # consecutive windows below Δ
         self._suppress_until = 0.0  # grace after an instance change
+        #: per-instance progress summaries, maintained only on the
+        #: instance-batched path: instance -> (view, highest ordered seq,
+        #: cumulative items).  Constant-size per instance — the compact
+        #: replacement for the per-request bookkeeping the batched path
+        #: skips; the Δ test keeps using the exact ``nbreqs`` counters.
+        self.progress: Dict[int, Tuple[int, int, int]] = {}
 
     # ------------------------------------------------------------ recording
     def count_ordered(self, instance: int, n: int) -> None:
         self.nbreqs[instance].add(n)
+
+    def note_progress(self, instance: int, view: int, seq: int, items: int) -> None:
+        """Fold one ordered batch into the instance's per-view summary."""
+        prev = self.progress.get(instance)
+        total = items if prev is None else prev[2] + items
+        if prev is not None and prev[0] == view and prev[1] > seq:
+            seq = prev[1]  # batches may complete out of sequence order
+        self.progress[instance] = (view, seq, total)
 
     def record_latency(self, instance: int, client: str, latency: float) -> None:
         sums = self._lat_sum[instance]

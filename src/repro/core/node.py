@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.common.batching import CertificateCoalescer
 from repro.common.cluster import Machine
 from repro.common.quorum import (
     VectorQuorumTracker,
@@ -42,10 +43,10 @@ from repro.protocols.pbft.engine import OrderingInstance
 from repro.protocols.pbft.messages import OrderingMessage
 
 from .config import RBFTConfig
-from .messages import FloodMsg, InstanceChangeMsg, PropagateMsg
+from .messages import FloodMsg, InstanceBatchMsg, InstanceChangeMsg, PropagateMsg
 from .monitoring import InstanceMonitor
 
-__all__ = ["RBFTNode", "InstanceTransport"]
+__all__ = ["RBFTNode", "InstanceTransport", "BatchingInstanceTransport"]
 
 
 class InstanceTransport:
@@ -58,6 +59,32 @@ class InstanceTransport:
 
     def broadcast(self, msg: OrderingMessage) -> None:
         self.machine.broadcast_to_nodes(msg)
+
+    def send(self, replica: str, msg: OrderingMessage) -> None:
+        self.machine.send_to_node(replica, msg)
+
+
+class BatchingInstanceTransport:
+    """Backup-instance transport that coalesces certificate broadcasts.
+
+    Above the pacing threshold, each backup instance's broadcasts are
+    buffered in the node's shared :class:`CertificateCoalescer` instead
+    of hitting the NICs one by one; the coalescer flushes a short window
+    of them as one :class:`InstanceBatchMsg` envelope.  The engine has
+    already charged its per-message send cost on its own core by the
+    time ``broadcast`` runs, so buffering costs nothing extra and the
+    master's module cores never see backup traffic.  Point-to-point
+    sends (view-change retransmissions) are rare and stay exact.
+    """
+
+    __slots__ = ("machine", "coalescer")
+
+    def __init__(self, machine: Machine, coalescer: CertificateCoalescer):
+        self.machine = machine
+        self.coalescer = coalescer
+
+    def broadcast(self, msg: OrderingMessage) -> None:
+        self.coalescer.add(msg)
 
     def send(self, replica: str, msg: OrderingMessage) -> None:
         self.machine.send_to_node(replica, msg)
@@ -83,16 +110,37 @@ class RBFTNode:
         self.execution_core = machine.cores.allocate("execution")
 
         # f+1 protocol instances ------------------------------------------
+        # Above the pacing threshold the backup instances' certificate
+        # broadcasts are coalesced into per-window envelopes; the master
+        # instance always keeps the exact per-message transport.
+        self._batching = config.batching_active
+        self._cert_coalescer: Optional[CertificateCoalescer] = (
+            CertificateCoalescer(
+                sim,
+                config.instance_batch_limit,
+                config.instance_batch_window,
+                self._flush_cert_batch,
+            )
+            if self._batching
+            else None
+        )
         self.engines: List[OrderingInstance] = []
         instance_config = config.instance_config()
+        backup_config = config.backup_instance_config()
         senders = machine.cluster.senders
         for k in range(config.instances):
             core = machine.cores.allocate("replica-%d" % k)
+            if self._cert_coalescer is not None and k != config.master:
+                transport = BatchingInstanceTransport(
+                    machine, self._cert_coalescer
+                )
+            else:
+                transport = InstanceTransport(machine)
             engine = OrderingInstance(
                 sim,
                 core,
-                transport=InstanceTransport(machine),
-                config=instance_config,
+                transport=transport,
+                config=instance_config if k == config.master else backup_config,
                 costs=self.costs,
                 replica=self.name,
                 instance=k,
@@ -165,6 +213,7 @@ class RBFTNode:
             ClientRequestMsg: self._route_request,
             PropagateMsg: self._route_propagate,
             InstanceChangeMsg: self._route_instance_change,
+            InstanceBatchMsg: self._route_instance_batch,
             FloodMsg: self._route_flood,
         }
 
@@ -173,8 +222,15 @@ class RBFTNode:
 
     # ----------------------------------------------------------------- wiring
     def _make_ordered_callback(self, instance: int):
-        def callback(seq: int, items: Tuple) -> None:
-            self._on_instance_ordered(instance, seq, items)
+        if self._batching:
+
+            def callback(seq: int, items: Tuple) -> None:
+                self._on_instance_ordered_batched(instance, seq, items)
+
+        else:
+
+            def callback(seq: int, items: Tuple) -> None:
+                self._on_instance_ordered(instance, seq, items)
 
         return callback
 
@@ -222,6 +278,48 @@ class RBFTNode:
     def _route_ordering(self, msg: Message) -> None:
         if 0 <= msg.instance < len(self.engines):
             self.engines[msg.instance].receive(msg)
+
+    def _route_instance_batch(self, msg: Message) -> None:
+        # One envelope, one outer authenticator, ONE core task: the
+        # aggregated receive cost (summed per-instance run costs, memoised
+        # on the immutable envelope — every receiver of a deployment
+        # shares one config) is charged on the first enveloped instance's
+        # core, so the module cores and the master's replica core never
+        # see backup traffic.
+        if not msg.authenticator.valid_for(self.name):
+            self._note_invalid(msg.sender)
+            return
+        engines = self.engines
+        runs = msg.runs()
+        first = runs[0][0]
+        if not 0 <= first < len(engines):
+            return
+        cost = msg._rx_cost
+        if cost is None:
+            cost = sum(
+                engines[instance].batch_rx_cost(run)
+                for instance, run in runs
+                if 0 <= instance < len(engines)
+            )
+            msg._rx_cost = cost
+        engines[first].core.submit(cost, self._dispatch_envelope, runs)
+
+    def _dispatch_envelope(self, runs) -> None:
+        engines = self.engines
+        for instance, run in runs:
+            if 0 <= instance < len(engines):
+                engines[instance].dispatch_batch(run)
+
+    def _flush_cert_batch(self, batch: List[OrderingMessage]) -> None:
+        """Coalescer flush: one window of backup certificates, one send."""
+        if len(batch) == 1:
+            # A lone message needs no envelope — ship it exactly as the
+            # unbatched path would.
+            self.machine.broadcast_to_nodes(batch[0])
+        else:
+            self.machine.broadcast_to_nodes(
+                InstanceBatchMsg(self.name, batch, self._auth)
+            )
 
     def _route_instance_change(self, msg: Message) -> None:
         cost = self._auth_rx_cost(msg.wire_size())
@@ -435,6 +533,40 @@ class RBFTNode:
                 self._ordered_by[request_id] = seen
         if master:
             self._execute_items(items)
+
+    def _on_instance_ordered_batched(self, instance: int, seq: int, items: Tuple) -> None:
+        """Ordered-batch bookkeeping above the pacing threshold.
+
+        The master instance stays exact: per-request latency feeds the
+        Λ/Ω checks and execution proceeds as usual.  Backup instances are
+        summarised — the monitor's exact ``nbreqs`` counters (the Δ test
+        input) still tick per batch, but the per-request latency samples
+        and the all-instances-ordered memo GC are replaced by a
+        constant-size per-view progress summary.  Propagation memos are
+        garbage-collected at master execution instead: the propagation
+        guard accepts executed ids, so a backup ordering after the master
+        still passes its pre-prepare guard.
+        """
+        monitor = self.monitor
+        monitor.count_ordered(instance, len(items))
+        monitor.note_progress(
+            instance, self.engines[instance].view, seq, len(items)
+        )
+        if instance != self.master_instance:
+            return
+        now = self.sim.now
+        given_at = self._given_at
+        for item in items:
+            request_id = item.request_id
+            given = given_at.pop(request_id, None)
+            if given is not None:
+                latency = now - given
+                monitor.record_latency(instance, item.client, latency)
+                monitor.check_request_latency(item.client, latency)
+            self._propagated.discard(request_id)
+            self.ready_ids.discard(request_id)
+            self._propagate_votes.discard(request_id)
+        self._execute_items(items)
 
     def _monitor_tick(self) -> None:
         self.sim.call_after(self.config.monitoring_period, self._monitor_tick)
@@ -661,7 +793,7 @@ class RBFTNode:
         history = 0
         if self._instance_history is not None:
             history = sum(len(h) for h in self._instance_history)
-        return {
+        sizes = {
             "total": max(e.log_sizes()["total"] for e in self.engines),
             "propagated": len(self._propagated),
             "ready_ids": len(self.ready_ids),
@@ -673,6 +805,12 @@ class RBFTNode:
             "instance_history": history,
             "executed_ids": len(self.executed_ids),
         }
+        if self._cert_coalescer is not None:
+            # Only on the batched path: the key must not appear in exact
+            # runs, whose traced log-size emissions are pinned by the
+            # replay digests.
+            sizes["cert_coalescer"] = self._cert_coalescer.pending
+        return sizes
 
     def __repr__(self) -> str:
         return "RBFTNode(%s, cpi=%d, executed=%d)" % (

@@ -12,14 +12,22 @@ scenario (no capacity probes, so event counts are identical on every
 machine and across refactors).  The artifact is a **kreq/s-vs-n curve
 per protocol** plus one geo-distributed point (RBFT on the ``wan3``
 topology) pinning WAN determinism.  PBFT and Spinning climb to
-n = 148 (f = 49) — the "hundreds of replicas" acceptance point; RBFT
-runs f + 1 ordering instances per node, so its ladder stops at n = 64
-to keep the benchmark's wall clock bounded.
+n = 148 (f = 49) — the "hundreds of replicas" acceptance point — and
+so does RBFT: above the pacing threshold its backup instances'
+certificate traffic is coalesced into per-window envelopes
+(``RBFTConfig.batching_active``), which keeps the (f+1)-instance
+ladder inside the CI wall-clock budget.
+
+Every point records the pacing/batching **tier** it ran under
+("exact", "paced" or "batched", see ``RBFTConfig.pacing_tier``), and
+``--check`` treats tier drift like any other seeded drift — the
+identity gates cannot silently start comparing a batched run against
+an exact baseline.
 
 ``--check`` turns the benchmark into a CI gate with the same two
 failure modes as ``bench protocol``: events/sec below the tolerance
 floor (a lost optimisation), and drift in any deterministic per-point
-number (events, completed requests, throughput) — those are pure
+number (events, completed requests, throughput, tier) — those are pure
 functions of the seed, so any difference from the checked-in baseline
 (``benchmarks/scale_baseline.json``) means seeded behaviour changed.
 """
@@ -54,7 +62,9 @@ N_CLIENTS = 4
 #: (protocol, f, offered rps, measured duration) — fixed loads sized so
 #: each point saturates without the wall clock exploding; durations
 #: shrink as n² message costs grow.  RBFT pays (f+1)× the certificate
-#: traffic of its peers, so its ladder is shorter.
+#: traffic of its peers up to f = 21; its f = 33 and f = 49 rungs run
+#: on the batched tier, where backup-instance certificates coalesce
+#: into per-window envelopes.
 SCALE_POINTS = (
     ("pbft", 1, 2000.0, 0.30),
     ("pbft", 5, 1000.0, 0.30),
@@ -73,11 +83,25 @@ SCALE_POINTS = (
     ("rbft", 1, 2000.0, 0.30),
     ("rbft", 5, 1000.0, 0.30),
     ("rbft", 21, 500.0, 0.15),
+    ("rbft", 33, 450.0, 0.15),
+    ("rbft", 49, 400.0, 0.15),
 )
 
 #: the geo-distributed pin: RBFT spread across three regions.
 WAN_POINT = ("rbft", 1, 1000.0, 0.30)
 WAN_PACK = "wan3"
+
+
+def _pacing_tier(protocol: str, f: int) -> str:
+    """Which pacing/batching tier this ladder point runs under.
+
+    RBFT-family configs expose ``pacing_tier``; the single-instance
+    protocols have no pacing regimes and always run exact.
+    """
+    from repro.protocols import registry
+
+    config = registry.get(protocol).config_factory(f, SMOKE)
+    return getattr(config, "pacing_tier", "exact")
 
 
 def _scale_point(
@@ -112,6 +136,7 @@ def _scale_point(
         "completed": result.completed,
         "events": result.events,
         "wall_clock_s": round(wall, 4),
+        "tier": _pacing_tier(protocol, f),
     }
 
 
@@ -223,7 +248,7 @@ def check_regression(
             got = ours.get(label)
             if got is None:
                 return "ladder point %s vanished from the benchmark" % label
-            for key in ("events", "completed", "throughput_rps"):
+            for key in ("events", "completed", "throughput_rps", "tier"):
                 if key in expected and got.get(key) != expected[key]:
                     return (
                         "%s %s drifted from the baseline (%s != %s) — "

@@ -24,7 +24,7 @@ variant — the only supported way to extend the protocol dispatch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Mapping, Tuple
 
 __all__ = ["ProtocolSpec", "register", "get", "names"]
@@ -122,7 +122,7 @@ def _populate() -> None:
 
     def rbft_config(full_order):
         def factory(f, scale):
-            return RBFTConfig(
+            config = RBFTConfig(
                 f=f,
                 monitoring_period=scale.monitoring_period,
                 order_full_requests=full_order,
@@ -132,14 +132,19 @@ def _populate() -> None:
                 # count with f.  max() keeps f ≤ 3 at exactly 8 cores —
                 # seeded small-n runs stay byte-identical.
                 cores_per_machine=max(8, 4 + f + 1),
-                # Each ordering round costs Θ(n²) certificate messages
-                # *per instance*; at n in the hundreds, millisecond-paced
-                # rounds would drown the deployment in PREPARE/COMMIT
-                # traffic for near-empty batches.  Large-f deployments
-                # pace rounds at 10 ms so batches amortise the quadratic
-                # fan-out — the f ≤ 3 testbed keeps the paper's 1 ms.
-                batch_delay=(1e-3 if f <= 3 else 10e-3),
             )
+            # Each ordering round costs Θ(n²) certificate messages *per
+            # instance*; at n in the hundreds, millisecond-paced rounds
+            # would drown the deployment in PREPARE/COMMIT traffic for
+            # near-empty batches.  Above the configurable pacing
+            # threshold (default f > 3) rounds slow to the paced delay so
+            # batches amortise the quadratic fan-out — and certificate
+            # batching across instances activates automatically
+            # (``RBFTConfig.batching_active``).  The f ≤ 3 testbed keeps
+            # the paper's 1 ms and the exact path.
+            if f > config.pacing_f_threshold:
+                config = replace(config, batch_delay=config.paced_batch_delay)
+            return config
 
         return factory
 

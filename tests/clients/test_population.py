@@ -124,11 +124,32 @@ def test_invalid_reply_mac_is_ignored():
 def test_reply_routing_resolves_owner_alias():
     sim, cluster, population = build()
     machine = cluster.machines[0]
-    # The memoised alias shares the owner port's downlink channel.
+    # The alias resolves to the owner port's downlink channel.
     assert machine.channel_to_client("pop0#7") is machine.channel_to_client(
         "pop0"
     )
     assert machine.channel_to_client("ghost#7") is None
+
+
+def test_reply_routing_does_not_grow_per_identity_state():
+    """Regression: replying to a million identities must stay O(#ports).
+
+    ``channel_to_client`` used to memoise one ``channels_to_clients``
+    entry per sampled population identity, so a diurnal run over a
+    million-client population grew the dict without bound.
+    """
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(f=1))
+    population = ClientPopulation(cluster, size=1_000_000)
+    machine = cluster.machines[0]
+    ports_before = dict(machine.channels_to_clients)
+    # A spread of identities across the full million-client range; every
+    # one resolves to the owner channel and none leaves a dict entry.
+    owner = machine.channel_to_client("pop0")
+    for index in range(0, 1_000_000, 9973):
+        assert machine.channel_to_client("pop0#%d" % index) is owner
+    assert machine.channels_to_clients == ports_before
+    assert len(machine.channels_to_clients) == len(cluster.clients)
 
 
 def test_add_client_rejects_hash_in_names():

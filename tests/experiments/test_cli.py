@@ -166,3 +166,16 @@ def test_pinned_episode_validator(tmp_path):
     assert "unknown protocol" in verdict.stderr
     assert "unknown fault kind" in verdict.stderr
     assert "digest" in verdict.stderr
+
+    # A pin whose spec crosses the instance-batching threshold is also
+    # rejected: replay digests hash the exact per-message schedule, so
+    # adversary replays must stay on the exact path.
+    deep_dir = tmp_path / "deep"
+    deep_dir.mkdir()
+    (deep_dir / "deep.json").write_text(json.dumps({
+        "spec": {"seed": 1, "f": 5, "plan": []},
+        "digest": "0" * 64,
+    }))
+    verdict = run(deep_dir)
+    assert verdict.returncode == 1
+    assert "batching threshold" in verdict.stderr

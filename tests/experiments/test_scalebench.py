@@ -44,10 +44,26 @@ def test_ladder_covers_every_protocol_and_reaches_148():
         "rbft-udp", "rbft-full-order", "aardvark-no-vc",
     }
     assert max(3 * f + 1 for _, f, _, _ in SCALE_POINTS) == 148
-    # RBFT's ladder is deliberately shorter (see the module docstring).
-    assert max(3 * f + 1 for p, f, _, _ in SCALE_POINTS if p == "rbft") == 64
+    # Instance batching put RBFT on the same n = 148 rung as its peers.
+    assert max(3 * f + 1 for p, f, _, _ in SCALE_POINTS if p == "rbft") == 148
     assert WAN_PACK in TOPOLOGY_PACKS
     assert WAN_POINT[0] == "rbft"
+
+
+def test_rbft_large_rungs_run_on_the_batched_tier():
+    from repro.experiments.scalebench import _pacing_tier
+
+    assert _pacing_tier("rbft", 1) == "exact"
+    assert _pacing_tier("rbft", 33) == "batched"
+    assert _pacing_tier("rbft", 49) == "batched"
+    assert _pacing_tier("pbft", 49) == "exact"
+
+
+def test_check_regression_flags_tier_drift():
+    record = _record(events_per_sec=1000.0, baseline=1000.0, tier="batched")
+    baseline = json.loads(json.dumps(_record(tier="exact")))
+    violation = check_regression(record, baseline=baseline)
+    assert violation is not None and "tier" in violation
 
 
 def test_check_regression_passes_without_baseline():

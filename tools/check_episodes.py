@@ -10,6 +10,10 @@ lint time, without running the simulator:
   fault plan whose kinds exist in the fault vocabulary;
 * the spec names a registered protocol (the RBFT family the episode
   runner accepts);
+* the spec stays below the redundant-instance batching threshold
+  (``RBFTConfig.pacing_f_threshold``): replay digests hash the exact
+  per-message schedule, so a pinned episode must never run on the
+  coalesced path;
 * the artifact carries a non-empty SHA-256 invariant digest (otherwise
   ``check --replay`` would "match" against nothing);
 * ``LEADERBOARD.json``, when present, references only episode artifacts
@@ -56,6 +60,17 @@ def check_episode(path: str, fault_kinds, protocols) -> list:
             "%s: unknown protocol %r (registered: %s)"
             % (path, protocol, ", ".join(sorted(protocols)))
         )
+    else:
+        from repro.core import RBFTConfig
+
+        threshold = RBFTConfig.pacing_f_threshold
+        f = spec.get("f", 1)
+        if isinstance(f, int) and f > threshold:
+            problems.append(
+                "%s: f=%d crosses the instance-batching threshold (f > %d);"
+                " pinned replays must stay on the exact path"
+                % (path, f, threshold)
+            )
     for fault in spec.get("plan", ()):
         kind = fault.get("kind") if isinstance(fault, dict) else None
         if kind not in fault_kinds:
